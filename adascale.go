@@ -1,0 +1,236 @@
+// Package adascale is a from-scratch Go reproduction of "AdaScale: Towards
+// Real-time Video Object Detection Using Adaptive Scaling" (Chin, Ding,
+// Marculescu — SysML/MLSys 2019).
+//
+// AdaScale's insight is that image down-scaling is not a pure
+// speed/accuracy trade-off: a small regressor reading the detector's own
+// deep features can predict, per frame, the scale at which the detector is
+// both faster and more accurate. This package is the public facade over the
+// implementation: synthetic video datasets (standing in for ImageNet VID
+// and mini YouTube-BB), the behavioural R-FCN detector, the Sec. 3.1
+// optimal-scale metric, the Fig. 4 scale regressor trained with a real SGD
+// framework, Algorithm 1's video pipeline, the DFF and Seq-NMS baselines it
+// composes with, VOC-style evaluation, and the experiment harness that
+// regenerates every table and figure of the paper. See DESIGN.md for the
+// full substitution map and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quickstart:
+//
+//	cfg := adascale.VIDLike(1)
+//	ds, _ := adascale.Generate(cfg, 60, 30)
+//	sys := adascale.Build(ds, adascale.DefaultBuildConfig())
+//	outs := adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
+//		return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
+//	})
+//	res := adascale.Evaluate(adascale.ToEval(outs), len(cfg.Classes))
+//	fmt.Printf("mAP %.1f at %.0f ms/frame\n", res.MAP*100, adascale.MeanRuntimeMS(outs))
+package adascale
+
+import (
+	"math/rand"
+
+	"adascale/internal/adascale"
+	"adascale/internal/detect"
+	"adascale/internal/dff"
+	"adascale/internal/eval"
+	"adascale/internal/raster"
+	"adascale/internal/regressor"
+	"adascale/internal/rfcn"
+	"adascale/internal/seqnms"
+	"adascale/internal/synth"
+)
+
+// Core vocabulary.
+type (
+	// Box is an axis-aligned bounding box in native frame coordinates.
+	Box = detect.Box
+	// Detection is one detector output (box, class, confidence).
+	Detection = detect.Detection
+	// GroundTruth is one annotated object.
+	GroundTruth = detect.GroundTruth
+)
+
+// Synthetic datasets (the ImageNet VID / mini YouTube-BB stand-ins).
+type (
+	// DatasetConfig parameterises generation.
+	DatasetConfig = synth.Config
+	// Dataset is a generated train/val corpus.
+	Dataset = synth.Dataset
+	// Snippet is one video snippet.
+	Snippet = synth.Snippet
+	// Frame is one video frame.
+	Frame = synth.Frame
+	// ClassProfile calibrates one object category.
+	ClassProfile = synth.ClassProfile
+)
+
+// VIDLike returns the 30-class ImageNet-VID-like dataset configuration.
+func VIDLike(seed int64) DatasetConfig { return synth.VIDLike(seed) }
+
+// MiniYTBBLike returns the 23-class mini YouTube-BB-like configuration.
+func MiniYTBBLike(seed int64) DatasetConfig { return synth.MiniYTBBLike(seed) }
+
+// Generate builds a dataset with the given number of train/val snippets.
+func Generate(cfg DatasetConfig, train, val int) (*Dataset, error) {
+	return synth.Generate(cfg, train, val)
+}
+
+// Detector and regressor.
+type (
+	// Detector is the behavioural R-FCN object detector.
+	Detector = rfcn.Detector
+	// DetectorResult is one detector invocation's output.
+	DetectorResult = rfcn.Result
+	// Regressor is the trainable scale-regression module (Fig. 4).
+	Regressor = regressor.Regressor
+	// RegressorTrainConfig is the regressor training recipe.
+	RegressorTrainConfig = regressor.TrainConfig
+	// Label is one regressor training example.
+	Label = regressor.Label
+)
+
+// NewSSDetector creates the single-scale (600) baseline detector.
+func NewSSDetector(data *DatasetConfig) *Detector { return rfcn.NewSS(data) }
+
+// NewMSDetector creates the paper's default multi-scale detector
+// (S_train = {600, 480, 360, 240}).
+func NewMSDetector(data *DatasetConfig) *Detector { return rfcn.NewMS(data) }
+
+// NewDetector creates a detector trained at an arbitrary scale set.
+func NewDetector(data *DatasetConfig, trainScales []int) *Detector {
+	return rfcn.New(data, trainScales)
+}
+
+// NewRegressor creates an untrained scale regressor with the given branch
+// kernel sizes (nil selects the paper's {1, 3}).
+func NewRegressor(rng *rand.Rand, kernels []int) *Regressor { return regressor.New(rng, kernels) }
+
+// EncodeTarget computes the Eq. 3 normalised relative-scale target.
+func EncodeTarget(m, mOpt int) float64 { return regressor.EncodeTarget(m, mOpt) }
+
+// DecodeScale inverts Eq. 3, rounding and clipping to [128, 600]
+// (Algorithm 1's decode step).
+func DecodeScale(t float64, baseSize int) int { return regressor.DecodeScale(t, baseSize) }
+
+// SReg is the paper's label-generation scale set {600, 480, 360, 240, 128}.
+func SReg() []int { return append([]int(nil), regressor.SReg...) }
+
+// Pipeline (Algorithm 1 and the comparison protocols).
+type (
+	// System is a trained AdaScale deployment (detector + regressor).
+	System = adascale.System
+	// BuildConfig parameterises the Fig. 2 training methodology.
+	BuildConfig = adascale.BuildConfig
+	// FrameOutput is one frame's detections plus cost accounting.
+	FrameOutput = adascale.FrameOutput
+)
+
+// DefaultBuildConfig returns the paper's configuration.
+func DefaultBuildConfig() BuildConfig { return adascale.DefaultBuildConfig() }
+
+// Build runs the full Fig. 2 methodology: configure the multi-scale
+// detector, generate optimal-scale labels with the Sec. 3.1 metric, and
+// train the scale regressor.
+func Build(ds *Dataset, cfg BuildConfig) *System { return adascale.Build(ds, cfg) }
+
+// RunFixed detects every frame at a fixed scale (SS testing).
+func RunFixed(det *Detector, sn *Snippet, scale int) []FrameOutput {
+	return adascale.RunFixed(det, sn, scale)
+}
+
+// RunAdaScale runs Algorithm 1 over a snippet.
+func RunAdaScale(det *Detector, reg *Regressor, sn *Snippet) []FrameOutput {
+	return adascale.RunAdaScale(det, reg, sn)
+}
+
+// RunRandom tests each frame at a random scale from scales (MS/Random).
+func RunRandom(det *Detector, sn *Snippet, scales []int, rng *rand.Rand) []FrameOutput {
+	return adascale.RunRandom(det, sn, scales, rng)
+}
+
+// RunMultiShot tests each frame at every scale and NMS-merges (MS/MS).
+func RunMultiShot(det *Detector, sn *Snippet, scales []int) []FrameOutput {
+	return adascale.RunMultiShot(det, sn, scales)
+}
+
+// RunDataset applies a per-snippet runner across a split.
+func RunDataset(snippets []Snippet, run func(*Snippet) []FrameOutput) []FrameOutput {
+	return adascale.RunDataset(snippets, run)
+}
+
+// MeanRuntimeMS averages the modelled per-frame runtime.
+func MeanRuntimeMS(outputs []FrameOutput) float64 { return adascale.MeanRuntimeMS(outputs) }
+
+// MeanScale averages the tested scale.
+func MeanScale(outputs []FrameOutput) float64 { return adascale.MeanScale(outputs) }
+
+// Video-acceleration baselines.
+type (
+	// DFFConfig parameterises Deep Feature Flow.
+	DFFConfig = dff.Config
+	// SeqNMSOptions parameterises Seq-NMS.
+	SeqNMSOptions = seqnms.Options
+)
+
+// DefaultDFFConfig mirrors the DFF paper's operating point.
+func DefaultDFFConfig() DFFConfig { return dff.DefaultConfig() }
+
+// RunDFF runs Deep Feature Flow with fixed-scale key frames.
+func RunDFF(det *Detector, sn *Snippet, keyScale int, cfg DFFConfig) []FrameOutput {
+	return dff.Run(det, sn, keyScale, cfg)
+}
+
+// RunDFFAdaptive composes DFF with AdaScale (adaptive key-frame scales).
+func RunDFFAdaptive(det *Detector, reg *Regressor, sn *Snippet, cfg DFFConfig) []FrameOutput {
+	return dff.RunAdaptive(det, reg, sn, cfg)
+}
+
+// ApplySeqNMS rescoring over per-frame detections of one snippet.
+func ApplySeqNMS(frames [][]Detection, opts SeqNMSOptions) [][]Detection {
+	return seqnms.Apply(frames, opts)
+}
+
+// Evaluation.
+type (
+	// FrameDetections pairs detections with ground truth for scoring.
+	FrameDetections = eval.FrameDetections
+	// EvalResult is a full evaluation (per-class AP, mAP, PR curves).
+	EvalResult = eval.Result
+	// PRPoint is one precision-recall point.
+	PRPoint = eval.PRPoint
+)
+
+// Evaluate scores detections with VOC-style AP/mAP at IoU ≥ 0.5.
+func Evaluate(frames []FrameDetections, nClasses int) *EvalResult {
+	return eval.Evaluate(frames, nClasses)
+}
+
+// ToEval converts pipeline outputs into evaluation inputs.
+func ToEval(outputs []FrameOutput) []FrameDetections {
+	out := make([]FrameDetections, len(outputs))
+	for i, o := range outputs {
+		out[i] = FrameDetections{Detections: o.Detections, GroundTruth: o.Frame.GroundTruth()}
+	}
+	return out
+}
+
+// IoU returns the Jaccard overlap of two boxes.
+func IoU(a, b Box) float64 { return detect.IoU(a, b) }
+
+// NMS performs class-wise greedy non-maximum suppression.
+func NMS(dets []Detection, iouThreshold float64, topK int) []Detection {
+	return detect.NMS(dets, iouThreshold, topK)
+}
+
+// Texture selects a synthetic object's fill pattern (its complexity is one
+// of the signals the scale regressor reacts to).
+type Texture = raster.Texture
+
+// Texture kinds, ordered by spatial-frequency content.
+const (
+	TextureSolid    = raster.TextureSolid
+	TextureGradient = raster.TextureGradient
+	TextureStripes  = raster.TextureStripes
+	TextureChecker  = raster.TextureChecker
+	TextureDots     = raster.TextureDots
+)

@@ -1,0 +1,94 @@
+package adascale_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adascale"
+)
+
+// TestPublicAPIEndToEnd drives the documented public surface: generate,
+// build, run every protocol, evaluate — the quickstart contract.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := adascale.VIDLike(9)
+	cfg.FramesPerSnippet = 4
+	ds, err := adascale.Generate(cfg, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := adascale.Build(ds, adascale.DefaultBuildConfig())
+	if sys.Detector == nil || sys.Regressor == nil {
+		t.Fatal("Build returned an incomplete system")
+	}
+
+	outs := adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
+		return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
+	})
+	if len(outs) != 3*4 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	res := adascale.Evaluate(adascale.ToEval(outs), len(cfg.Classes))
+	if res.MAP < 0 || res.MAP > 1 {
+		t.Fatalf("mAP %v out of range", res.MAP)
+	}
+	if adascale.MeanRuntimeMS(outs) <= 0 || adascale.MeanScale(outs) <= 0 {
+		t.Fatal("degenerate runtime accounting")
+	}
+
+	// Other protocols are reachable and well-formed.
+	ssDet := adascale.NewSSDetector(&ds.Config)
+	if len(adascale.RunFixed(ssDet, &ds.Val[0], 600)) != 4 {
+		t.Fatal("RunFixed broken")
+	}
+	if len(adascale.RunRandom(sys.Detector, &ds.Val[0], adascale.SReg(), rand.New(rand.NewSource(1)))) != 4 {
+		t.Fatal("RunRandom broken")
+	}
+	if len(adascale.RunMultiShot(sys.Detector, &ds.Val[0], []int{600, 360})) != 4 {
+		t.Fatal("RunMultiShot broken")
+	}
+	if len(adascale.RunDFF(sys.Detector, &ds.Val[0], 600, adascale.DefaultDFFConfig())) != 4 {
+		t.Fatal("RunDFF broken")
+	}
+	if len(adascale.RunDFFAdaptive(sys.Detector, sys.Regressor, &ds.Val[0], adascale.DefaultDFFConfig())) != 4 {
+		t.Fatal("RunDFFAdaptive broken")
+	}
+	frames := [][]adascale.Detection{{{Box: adascale.Box{X1: 0, Y1: 0, X2: 10, Y2: 10}, Class: 0, Score: 0.5}}}
+	if got := adascale.ApplySeqNMS(frames, adascale.SeqNMSOptions{}); len(got) != 1 {
+		t.Fatal("ApplySeqNMS broken")
+	}
+}
+
+// TestEncodeDecodePublic checks the Eq. 3 helpers exported at the root.
+func TestEncodeDecodePublic(t *testing.T) {
+	for _, m := range []int{128, 240, 360, 480, 600} {
+		for _, mOpt := range []int{128, 240, 360, 480, 600} {
+			if got := adascale.DecodeScale(adascale.EncodeTarget(m, mOpt), m); got != mOpt {
+				t.Fatalf("round trip (%d,%d) -> %d", m, mOpt, got)
+			}
+		}
+	}
+}
+
+// TestIoUNMSPublic sanity-checks the exported geometry helpers.
+func TestIoUNMSPublic(t *testing.T) {
+	a := adascale.Box{X1: 0, Y1: 0, X2: 10, Y2: 10}
+	if adascale.IoU(a, a) != 1 {
+		t.Fatal("IoU broken")
+	}
+	dets := []adascale.Detection{
+		{Box: a, Class: 0, Score: 0.9},
+		{Box: adascale.Box{X1: 1, Y1: 1, X2: 11, Y2: 11}, Class: 0, Score: 0.5},
+	}
+	if got := adascale.NMS(dets, 0.3, 10); len(got) != 1 {
+		t.Fatalf("NMS kept %d", len(got))
+	}
+}
+
+// TestSRegIsolated ensures SReg returns a copy callers cannot corrupt.
+func TestSRegIsolated(t *testing.T) {
+	s := adascale.SReg()
+	s[0] = 1
+	if adascale.SReg()[0] != 600 {
+		t.Fatal("SReg must return a defensive copy")
+	}
+}

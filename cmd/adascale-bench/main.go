@@ -1,0 +1,68 @@
+// Command adascale-bench regenerates the paper's tables and figures on the
+// synthetic substrate.
+//
+// Usage:
+//
+//	adascale-bench [-dataset vid|ytbb] [-exp all|table1,table2,...] \
+//	               [-train N] [-val N] [-seed N]
+//
+// Experiments: table1, table2, table3, fig5, fig6, fig7, fig9, fig10,
+// qualitative.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adascale/internal/experiments"
+)
+
+func main() {
+	dataset := flag.String("dataset", "vid", "dataset: vid or ytbb")
+	exp := flag.String("exp", "all", "comma-separated experiments or 'all'")
+	train := flag.Int("train", 60, "training snippets")
+	val := flag.Int("val", 30, "validation snippets")
+	seed := flag.Int64("seed", 5, "dataset seed")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Dataset:       *dataset,
+		TrainSnippets: *train,
+		ValSnippets:   *val,
+		Seed:          *seed,
+	}
+	b, err := experiments.Prepare(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adascale-bench:", err)
+		os.Exit(1)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	w := os.Stdout
+
+	run := func(name string, f func()) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		f()
+		fmt.Fprintf(w, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("qualitative", func() { b.Qualitative(8).Print(w) })
+	run("table1", func() { b.Table1().Print(w) })
+	run("table2", func() { b.Table2().Print(w) })
+	run("table3", func() { b.Table3().Print(w) })
+	run("fig5", func() { b.Fig5().Print(w) })
+	run("fig6", func() { b.Fig6().Print(w) })
+	run("fig7", func() { b.Fig7().Print(w) })
+	run("fig9", func() { b.Fig9().Print(w) })
+	run("fig10", func() { b.Fig10().Print(w) })
+}

@@ -1,0 +1,60 @@
+// Command adascale-eval evaluates the paper's testing protocols (SS/SS,
+// MS/SS, MS/MS, MS/Random, MS/AdaScale) on a validation split, optionally
+// loading regressor weights produced by adascale-train.
+//
+// Usage:
+//
+//	adascale-eval [-dataset vid|ytbb] [-train N] [-val N] [-seed N] \
+//	              [-weights weights.bin]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adascale/internal/experiments"
+)
+
+func main() {
+	dataset := flag.String("dataset", "vid", "dataset: vid or ytbb")
+	train := flag.Int("train", 60, "training snippets")
+	val := flag.Int("val", 30, "validation snippets")
+	seed := flag.Int64("seed", 5, "dataset seed")
+	weights := flag.String("weights", "", "optional regressor weights from adascale-train")
+	flag.Parse()
+
+	b, err := experiments.Prepare(experiments.Config{
+		Dataset: *dataset, TrainSnippets: *train, ValSnippets: *val, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adascale-eval:", err)
+		os.Exit(1)
+	}
+	if *weights != "" {
+		f, err := os.Open(*weights)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adascale-eval:", err)
+			os.Exit(1)
+		}
+		// Build the default system, then overwrite its regressor weights.
+		sys := b.DefaultSystem()
+		if err := sys.Regressor.Load(f); err != nil {
+			fmt.Fprintln(os.Stderr, "adascale-eval: loading weights:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("loaded regressor weights from %s\n", *weights)
+	}
+
+	rows := b.StandardMethods()
+	header := fmt.Sprintf("%-12s %8s %12s %12s", "method", "mAP", "runtime(ms)", "mean scale")
+	fmt.Println(header)
+	for range header {
+		fmt.Print("-")
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-12s %8.1f %12.1f %12.0f\n", r.Name, r.MAP*100, r.RuntimeMS, r.MeanScale)
+	}
+}

@@ -1,0 +1,88 @@
+// Command adascale-train runs the Fig. 2 training methodology: generate
+// the synthetic dataset, configure the multi-scale detector, produce
+// optimal-scale labels with the Sec. 3.1 metric, train the scale regressor
+// and save its weights.
+//
+// Usage:
+//
+//	adascale-train [-dataset vid|ytbb] [-train N] [-seed N] \
+//	               [-kernels 1,3] [-epochs 2] [-lr 0.01] [-o weights.bin]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"adascale/internal/adascale"
+	"adascale/internal/synth"
+)
+
+func main() {
+	dataset := flag.String("dataset", "vid", "dataset: vid or ytbb")
+	train := flag.Int("train", 60, "training snippets")
+	seed := flag.Int64("seed", 5, "dataset seed")
+	kernels := flag.String("kernels", "1,3", "regressor branch kernels")
+	epochs := flag.Int("epochs", 2, "training epochs")
+	lr := flag.Float64("lr", 0.01, "base learning rate")
+	out := flag.String("o", "adascale-regressor.bin", "output weights file")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "adascale-train:", err)
+		os.Exit(1)
+	}
+
+	var cfg synth.Config
+	switch *dataset {
+	case "vid":
+		cfg = synth.VIDLike(*seed)
+	case "ytbb":
+		cfg = synth.MiniYTBBLike(*seed)
+	default:
+		fail(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+	ks, err := parseInts(*kernels)
+	if err != nil {
+		fail(err)
+	}
+
+	ds, err := synth.Generate(cfg, *train, 0)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("generated %d training snippets (%d frames) of %s\n",
+		len(ds.Train), len(synth.Frames(ds.Train)), cfg.Name)
+
+	bc := adascale.DefaultBuildConfig()
+	bc.Kernels = ks
+	bc.Train.Epochs = *epochs
+	bc.Train.BaseLR = *lr
+	fmt.Printf("building: S_train=%v, S_reg=%v, kernels=%v, %d epochs at lr %g\n",
+		bc.TrainScales, bc.RegScales, bc.Kernels, bc.Train.Epochs, bc.Train.BaseLR)
+	sys := adascale.Build(ds, bc)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := sys.Regressor.Save(f); err != nil {
+		fail(err)
+	}
+	fmt.Printf("trained %v, weights saved to %s\n", sys.Regressor, *out)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad kernel list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

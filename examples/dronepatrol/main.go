@@ -1,0 +1,63 @@
+// Dronepatrol: AdaScale on an aerial-surveillance workload, the adversarial
+// case for down-scaling — objects filmed from altitude are small, so the
+// regressor must learn to *stay at high scales*: blind down-scaling (the
+// usual speed knob) destroys recall here. The example contrasts AdaScale
+// with a naive fixed low scale to show the regressor spends resolution only
+// where it pays.
+package main
+
+import (
+	"fmt"
+
+	"adascale"
+)
+
+func main() {
+	classes := []adascale.ClassProfile{
+		{Name: "person", BaseQuality: 0.60, SizeFrac: 0.10, SizeSpread: 0.30, Texture: adascale.TextureChecker, Clutter: 0.40},
+		{Name: "car", BaseQuality: 0.78, SizeFrac: 0.13, SizeSpread: 0.30, Texture: adascale.TextureGradient, Clutter: 0.35},
+		{Name: "truck", BaseQuality: 0.82, SizeFrac: 0.18, SizeSpread: 0.30, Texture: adascale.TextureGradient, Clutter: 0.30},
+		{Name: "boat", BaseQuality: 0.70, SizeFrac: 0.15, SizeSpread: 0.35, Texture: adascale.TextureSolid, Clutter: 0.25},
+		{Name: "animal", BaseQuality: 0.55, SizeFrac: 0.09, SizeSpread: 0.40, Texture: adascale.TextureDots, Clutter: 0.35},
+	}
+	cfg := adascale.DatasetConfig{
+		Name: "dronepatrol", Classes: classes,
+		NativeW: 1280, NativeH: 720, RenderDiv: 4,
+		FramesPerSnippet: 16, MaxObjects: 3, Seed: 11,
+	}
+	ds, err := adascale.Generate(cfg, 30, 15)
+	if err != nil {
+		panic(err)
+	}
+
+	sys := adascale.Build(ds, adascale.DefaultBuildConfig())
+	n := len(classes)
+
+	score := func(outs []adascale.FrameOutput) (float64, float64) {
+		return adascale.Evaluate(adascale.ToEval(outs), n).MAP, adascale.MeanRuntimeMS(outs)
+	}
+
+	full, fullMS := score(adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
+		return adascale.RunFixed(sys.Detector, sn, 600)
+	}))
+	low, lowMS := score(adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
+		return adascale.RunFixed(sys.Detector, sn, 240)
+	}))
+	adaOuts := adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
+		return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
+	})
+	ada, adaMS := score(adaOuts)
+
+	fmt.Println("aerial workload (small, distant objects)")
+	fmt.Printf("fixed 600   : mAP %5.1f%%  %5.1f ms/frame\n", full*100, fullMS)
+	fmt.Printf("fixed 240   : mAP %5.1f%%  %5.1f ms/frame  <- cheap but blind\n", low*100, lowMS)
+	fmt.Printf("AdaScale    : mAP %5.1f%%  %5.1f ms/frame  (mean scale %.0f)\n",
+		ada*100, adaMS, adascale.MeanScale(adaOuts))
+	fmt.Println()
+	if ada > low {
+		fmt.Println("the regressor learned that this content needs resolution:")
+		fmt.Printf("it keeps a mean scale of %.0f instead of blindly down-sampling,\n",
+			adascale.MeanScale(adaOuts))
+		fmt.Printf("recovering %.1f mAP over the naive low-scale speed knob.\n", (ada-low)*100)
+	}
+}

@@ -1,0 +1,3 @@
+module adascale
+
+go 1.22

@@ -1,0 +1,79 @@
+package adascale
+
+import (
+	"adascale/internal/detect"
+	"adascale/internal/regressor"
+	"adascale/internal/rfcn"
+	"adascale/internal/simclock"
+	"adascale/internal/synth"
+)
+
+// This file implements the extension the paper explicitly leaves as future
+// work (Sec. 2.1): "our method could possibly be extended to a multi-shot
+// version, i.e., adaptively select multiple scales for a given image".
+//
+// RunAdaScaleMultiShot keeps Algorithm 1's primary adaptive scale but takes
+// a second shot at the top scale whenever the regressor has committed to an
+// aggressive down-scale: heavy down-sampling is where small objects are at
+// risk, and the paper's own Fig. 9 analysis shows mixed-size frames make the
+// regressor jitter. The two shots merge with the detector's NMS. The result
+// sits between MS/AdaScale and MS/MS on both axes — most of the multi-shot
+// accuracy at a fraction of its cost.
+
+// MultiShotConfig tunes the adaptive multi-shot policy.
+type MultiShotConfig struct {
+	// SecondShotBelow triggers the extra top-scale shot when the regressed
+	// primary scale falls below this value.
+	SecondShotBelow int
+
+	// TopScale is the scale of the safety shot.
+	TopScale int
+
+	// MinSecondScore gates the safety shot's detections: high resolution
+	// re-introduces the clutter false positives AdaScale just removed, so
+	// only confident recoveries are merged.
+	MinSecondScore float64
+}
+
+// DefaultMultiShotConfig triggers the safety shot below scale 360.
+func DefaultMultiShotConfig() MultiShotConfig {
+	return MultiShotConfig{SecondShotBelow: 360, TopScale: 600, MinSecondScore: 0.55}
+}
+
+// RunAdaScaleMultiShot runs the adaptive multi-shot pipeline over a
+// snippet. The regressor reads the primary shot's deep features, exactly as
+// in Algorithm 1.
+func RunAdaScaleMultiShot(det *rfcn.Detector, reg *regressor.Regressor, sn *synth.Snippet, cfg MultiShotConfig) []FrameOutput {
+	if cfg.TopScale == 0 {
+		cfg = DefaultMultiShotConfig()
+	}
+	overhead := simclock.RegressorMS(reg.Kernels)
+	outputs := make([]FrameOutput, 0, len(sn.Frames))
+	targetScale := InitialScale
+	for i := range sn.Frames {
+		f := &sn.Frames[i]
+		r := det.DetectWithFeatures(f, targetScale)
+		dets := r.PlainDetections()
+		cost := r.RuntimeMS
+
+		if targetScale < cfg.SecondShotBelow {
+			second := det.Detect(f, cfg.TopScale)
+			cost += second.RuntimeMS
+			for _, d := range second.PlainDetections() {
+				if d.Score >= cfg.MinSecondScore {
+					dets = append(dets, d)
+				}
+			}
+			dets = detect.NMS(dets, rfcn.NMSThreshold, rfcn.TopK)
+		}
+
+		outputs = append(outputs, FrameOutput{
+			Frame: f, Scale: targetScale,
+			Detections: dets,
+			DetectorMS: cost,
+			OverheadMS: overhead,
+		})
+		targetScale = regressor.DecodeScale(reg.Forward(r.Features), targetScale)
+	}
+	return outputs
+}

@@ -1,0 +1,174 @@
+// Package detect defines the shared detection vocabulary — boxes,
+// detections, ground truth — plus the geometric and algorithmic primitives
+// every stage of the pipeline relies on: Jaccard overlap (IoU), greedy
+// Non-Maximum Suppression (the paper uses threshold 0.3 and keeps the
+// top-300 boxes), and foreground assignment at IoU ≥ 0.5.
+package detect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Box is an axis-aligned bounding box in native image coordinates
+// (x1,y1 top-left inclusive, x2,y2 bottom-right exclusive-ish; float
+// coordinates, x2>x1 and y2>y1 for non-degenerate boxes).
+type Box struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// W returns the box width (0 if degenerate).
+func (b Box) W() float64 {
+	if b.X2 <= b.X1 {
+		return 0
+	}
+	return b.X2 - b.X1
+}
+
+// H returns the box height (0 if degenerate).
+func (b Box) H() float64 {
+	if b.Y2 <= b.Y1 {
+		return 0
+	}
+	return b.Y2 - b.Y1
+}
+
+// Area returns the box area.
+func (b Box) Area() float64 { return b.W() * b.H() }
+
+// Center returns the box centre point.
+func (b Box) Center() (float64, float64) { return (b.X1 + b.X2) / 2, (b.Y1 + b.Y2) / 2 }
+
+// Shortest returns the shorter box side, the quantity compared against the
+// RPN's smallest anchor (128 px in the paper).
+func (b Box) Shortest() float64 {
+	if b.W() < b.H() {
+		return b.W()
+	}
+	return b.H()
+}
+
+// Scaled returns the box with all coordinates multiplied by f, mapping
+// between image scales.
+func (b Box) Scaled(f float64) Box {
+	return Box{X1: b.X1 * f, Y1: b.Y1 * f, X2: b.X2 * f, Y2: b.Y2 * f}
+}
+
+// Shifted returns the box translated by (dx, dy).
+func (b Box) Shifted(dx, dy float64) Box {
+	return Box{X1: b.X1 + dx, Y1: b.Y1 + dy, X2: b.X2 + dx, Y2: b.Y2 + dy}
+}
+
+// String renders the box compactly for logs.
+func (b Box) String() string {
+	return fmt.Sprintf("[%.1f,%.1f,%.1f,%.1f]", b.X1, b.Y1, b.X2, b.Y2)
+}
+
+// IoU returns the Jaccard overlap (intersection over union) of two boxes,
+// in [0, 1]. Degenerate boxes yield 0.
+func IoU(a, b Box) float64 {
+	ix1, iy1 := maxf(a.X1, b.X1), maxf(a.Y1, b.Y1)
+	ix2, iy2 := minf(a.X2, b.X2), minf(a.Y2, b.Y2)
+	iw, ih := ix2-ix1, iy2-iy1
+	if iw <= 0 || ih <= 0 {
+		return 0
+	}
+	inter := iw * ih
+	union := a.Area() + b.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Detection is one detector output: a box, a predicted class, and a
+// confidence score in [0, 1].
+type Detection struct {
+	Box   Box
+	Class int
+	Score float64
+
+	// GTIndex links the detection to the ground-truth object that produced
+	// it in the behavioural detector (-1 for false positives). Evaluation
+	// code must not read it; it exists for tracing and tests.
+	GTIndex int
+}
+
+// GroundTruth is one annotated object.
+type GroundTruth struct {
+	Box   Box
+	Class int
+}
+
+// NMS performs class-wise greedy non-maximum suppression with the given IoU
+// threshold, returning at most topK detections sorted by descending score
+// (topK ≤ 0 means unlimited). The paper uses threshold 0.3 and topK 300.
+func NMS(dets []Detection, iouThreshold float64, topK int) []Detection {
+	byClass := map[int][]Detection{}
+	for _, d := range dets {
+		byClass[d.Class] = append(byClass[d.Class], d)
+	}
+	var kept []Detection
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes) // deterministic iteration
+	for _, c := range classes {
+		ds := byClass[c]
+		sort.SliceStable(ds, func(i, j int) bool { return ds[i].Score > ds[j].Score })
+		suppressed := make([]bool, len(ds))
+		for i := range ds {
+			if suppressed[i] {
+				continue
+			}
+			kept = append(kept, ds[i])
+			for j := i + 1; j < len(ds); j++ {
+				if !suppressed[j] && IoU(ds[i].Box, ds[j].Box) > iouThreshold {
+					suppressed[j] = true
+				}
+			}
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Score > kept[j].Score })
+	if topK > 0 && len(kept) > topK {
+		kept = kept[:topK]
+	}
+	return kept
+}
+
+// ForegroundIoU is the Jaccard threshold above which a predicted box is
+// assigned to a ground-truth object (foreground), per the paper.
+const ForegroundIoU = 0.5
+
+// AssignForeground assigns each detection the index of the best-overlapping
+// ground truth with IoU ≥ ForegroundIoU, or -1 for background. Class labels
+// are not consulted: assignment is purely geometric, matching the loss
+// convention of Eq. 1 where u is then read from the matched ground truth.
+func AssignForeground(dets []Detection, gts []GroundTruth) []int {
+	assign := make([]int, len(dets))
+	for i, d := range dets {
+		best, bestIoU := -1, ForegroundIoU
+		for g, gt := range gts {
+			if iou := IoU(d.Box, gt.Box); iou >= bestIoU {
+				best, bestIoU = g, iou
+			}
+		}
+		assign[i] = best
+	}
+	return assign
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	once sync.Once
+	tb   *Bundle
+)
+
+func testBundle(t *testing.T) *Bundle {
+	t.Helper()
+	once.Do(func() {
+		b, err := Prepare(Config{Dataset: "vid", TrainSnippets: 32, ValSnippets: 12, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb = b
+	})
+	return tb
+}
+
+func TestPrepareRejectsUnknownDataset(t *testing.T) {
+	if _, err := Prepare(Config{Dataset: "coco"}); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestPrepareDefaultsAndYTBB(t *testing.T) {
+	b, err := Prepare(Config{Dataset: "ytbb", TrainSnippets: 2, ValSnippets: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Classes()) != 23 {
+		t.Fatalf("ytbb classes = %d", len(b.Classes()))
+	}
+	if b.SS.MultiScale() {
+		t.Fatal("SS baseline must be single-scale")
+	}
+}
+
+func TestSystemMemoised(t *testing.T) {
+	b := testBundle(t)
+	s1 := b.System([]int{600, 480, 360, 240}, []int{1, 3})
+	s2 := b.System([]int{600, 480, 360, 240}, []int{1, 3})
+	if s1 != s2 {
+		t.Fatal("System must memoise")
+	}
+	s3 := b.System([]int{600}, []int{1, 3})
+	if s3 == s1 {
+		t.Fatal("different S_train must build a different system")
+	}
+}
+
+func TestTable1Structure(t *testing.T) {
+	b := testBundle(t)
+	res := b.Table1()
+	if len(res.Rows) != 3 {
+		t.Fatalf("Table 1 rows = %d, want 3", len(res.Rows))
+	}
+	names := []string{"SS/SS", "MS/SS", "MS/AdaScale"}
+	for i, r := range res.Rows {
+		if r.Name != names[i] {
+			t.Fatalf("row %d = %q, want %q", i, r.Name, names[i])
+		}
+		if len(r.PerClassAP) != len(res.ClassNames) {
+			t.Fatal("per-class AP length mismatch")
+		}
+		if r.MAP < 0 || r.MAP > 1 {
+			t.Fatalf("mAP %v out of range", r.MAP)
+		}
+	}
+	ss, ada := res.Rows[0], res.Rows[2]
+	if ada.RuntimeMS >= ss.RuntimeMS {
+		t.Fatalf("AdaScale (%v ms) must be faster than SS/SS (%v ms)", ada.RuntimeMS, ss.RuntimeMS)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "mAP") || !strings.Contains(buf.String(), "MS/AdaScale") {
+		t.Fatal("Print output incomplete")
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	b := testBundle(t)
+	res := b.Table2()
+	if len(res.Entries) != 4 {
+		t.Fatalf("Table 2 entries = %d", len(res.Entries))
+	}
+	full := res.Entries[0]
+	only600 := res.Entries[3]
+	// Every SS row is fixed-600 testing: 75 ms by calibration.
+	for _, e := range res.Entries {
+		if e.SS.RuntimeMS < 74 || e.SS.RuntimeMS > 76 {
+			t.Fatalf("SS runtime %v, want ≈75", e.SS.RuntimeMS)
+		}
+	}
+	// The paper's speed trend: the full S_train set runs fastest under
+	// AdaScale; the {600}-only detector barely down-scales.
+	if full.Ada.RuntimeMS >= only600.Ada.RuntimeMS {
+		t.Fatalf("full S_train AdaScale (%v ms) should beat {600} (%v ms)",
+			full.Ada.RuntimeMS, only600.Ada.RuntimeMS)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "{600,480,360,240}") {
+		t.Fatal("Print output missing S_train sets")
+	}
+}
+
+func TestTable3Structure(t *testing.T) {
+	b := testBundle(t)
+	res := b.Table3()
+	if len(res.Entries) != 3 {
+		t.Fatalf("Table 3 entries = %d", len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		if e.Ada.MAP <= 0 || e.Ada.RuntimeMS <= 0 {
+			t.Fatalf("degenerate entry %+v", e)
+		}
+	}
+	// All three architectures should land in the same mAP ballpark — a
+	// collapsed regressor (the dead-ReLU failure) would show up as a huge
+	// spread.
+	lo, hi := res.Entries[0].Ada.MAP, res.Entries[0].Ada.MAP
+	for _, e := range res.Entries {
+		if e.Ada.MAP < lo {
+			lo = e.Ada.MAP
+		}
+		if e.Ada.MAP > hi {
+			hi = e.Ada.MAP
+		}
+	}
+	if hi-lo > 0.1 {
+		t.Fatalf("architecture spread %.3f implausibly large (%v..%v)", hi-lo, lo, hi)
+	}
+}
+
+func TestFig5Structure(t *testing.T) {
+	b := testBundle(t)
+	res := b.Fig5()
+	if len(res.Categories) != len(Fig5VIDCategories) {
+		t.Fatalf("Fig 5 categories = %d", len(res.Categories))
+	}
+	if len(res.Methods) != 5 {
+		t.Fatalf("Fig 5 methods = %d", len(res.Methods))
+	}
+	for ci := range res.Categories {
+		for mi := range res.Methods {
+			if ap := res.AP[ci][mi]; ap < 0 || ap > 1 {
+				t.Fatalf("AP %v out of range", ap)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "red panda") {
+		t.Fatal("Print missing categories")
+	}
+}
+
+func TestFig6NormalisedToSS(t *testing.T) {
+	b := testBundle(t)
+	res := b.Fig6()
+	if res.Methods[0] != "SS/SS" || res.TotalTP[0] != 1 || res.TotalFP[0] != 1 {
+		t.Fatalf("Fig 6 must normalise to SS/SS: %+v", res)
+	}
+	// Multi-scale training slashes false positives (the paper's key
+	// observation in Fig. 6).
+	msIdx := -1
+	for i, m := range res.Methods {
+		if m == "MS/SS" {
+			msIdx = i
+		}
+	}
+	if msIdx < 0 || res.TotalFP[msIdx] >= 1 {
+		t.Fatalf("MS/SS FP ratio %v, want < 1", res.TotalFP[msIdx])
+	}
+}
+
+func TestFig7Structure(t *testing.T) {
+	b := testBundle(t)
+	res := b.Fig7()
+	if len(res.Points) != 6 {
+		t.Fatalf("Fig 7 points = %d", len(res.Points))
+	}
+	byName := map[string]ParetoPoint{}
+	for _, p := range res.Points {
+		byName[p.Name] = p
+		if p.FPS <= 0 {
+			t.Fatalf("degenerate FPS for %s", p.Name)
+		}
+	}
+	if byName["DFF"].FPS <= byName["R-FCN"].FPS {
+		t.Fatal("DFF must be faster than per-frame R-FCN")
+	}
+	if byName["R-FCN+AdaScale"].FPS <= byName["R-FCN"].FPS {
+		t.Fatal("AdaScale must speed up R-FCN")
+	}
+	if byName["SeqNMS+AdaScale"].FPS <= byName["SeqNMS"].FPS {
+		t.Fatal("AdaScale must speed up SeqNMS")
+	}
+	if byName["DFF+AdaScale"].FPS <= byName["DFF"].FPS {
+		t.Fatal("AdaScale must speed up DFF (the paper's +25%)")
+	}
+}
+
+func TestFig9Dynamics(t *testing.T) {
+	b := testBundle(t)
+	res := b.Fig9()
+	if len(res.Clips) != 3 {
+		t.Fatalf("Fig 9 clips = %d", len(res.Clips))
+	}
+	large, small := res.Clips[0], res.Clips[1]
+	if meanInt(large.Scales[1:]) >= meanInt(small.Scales[1:]) {
+		t.Fatalf("large-object clip (mean %.0f) must use smaller scales than small-object clip (mean %.0f)",
+			meanInt(large.Scales[1:]), meanInt(small.Scales[1:]))
+	}
+	for _, c := range res.Clips {
+		if c.Scales[0] != 600 {
+			t.Fatal("every clip must start at 600 (Algorithm 1)")
+		}
+	}
+}
+
+func TestFig10Distribution(t *testing.T) {
+	b := testBundle(t)
+	res := b.Fig10()
+	if len(res.Entries) != 4 {
+		t.Fatalf("Fig 10 entries = %d", len(res.Entries))
+	}
+	nFrames := 0
+	for _, sn := range b.DS.Val {
+		nFrames += len(sn.Frames)
+	}
+	for _, e := range res.Entries {
+		total := 0
+		for _, c := range e.Counts {
+			total += c
+		}
+		if total != nFrames {
+			t.Fatalf("S_train %v histogram covers %d frames, want %d", e.Strain, total, nFrames)
+		}
+	}
+	// The paper's Fig. 10: richer training sets shift mass to lower scales.
+	if res.Entries[0].MeanScale >= res.Entries[3].MeanScale {
+		t.Fatalf("full S_train mean scale %v should be below {600}'s %v",
+			res.Entries[0].MeanScale, res.Entries[3].MeanScale)
+	}
+}
+
+func TestQualitative(t *testing.T) {
+	b := testBundle(t)
+	res := b.Qualitative(5)
+	if res.DownscaleFraction <= 0 || res.DownscaleFraction > 1 {
+		t.Fatalf("downscale fraction %v", res.DownscaleFraction)
+	}
+	if len(res.Examples) == 0 {
+		t.Fatal("expected at least one down-scale example (Fig. 1's premise)")
+	}
+	if len(res.Examples) > 5 {
+		t.Fatal("maxExamples not honoured")
+	}
+	for _, e := range res.Examples {
+		if e.OptimalScale >= 600 {
+			t.Fatalf("example optimal scale %d not below 600", e.OptimalScale)
+		}
+		if e.LossOpt >= e.Loss600 {
+			t.Fatalf("optimal-scale loss %v must beat 600's %v", e.LossOpt, e.Loss600)
+		}
+	}
+}
+
+func TestScalesString(t *testing.T) {
+	if got := scalesString([]int{600, 360}); got != "{600,360}" {
+		t.Fatalf("scalesString = %q", got)
+	}
+	if got := scalesString(nil); got != "{}" {
+		t.Fatalf("scalesString(nil) = %q", got)
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adascale/internal/adascale"
+	"adascale/internal/regressor"
+	"adascale/internal/synth"
+)
+
+// Fig10Bins are the histogram bin edges (scales) for the regressed-scale
+// distribution.
+var Fig10Bins = []int{128, 240, 360, 480, 600}
+
+// Fig10Entry is one S_train set's regressed-scale histogram over the
+// validation split.
+type Fig10Entry struct {
+	Strain []int
+	// Counts[i] counts frames whose tested scale fell in
+	// [Fig10Bins[i], Fig10Bins[i+1]) — the last bin is [480, 600].
+	Counts    []int
+	MeanScale float64
+}
+
+// Fig10Result reproduces the regressed-scale distributions of Fig. 10:
+// richer S_train sets let the regressor push more frames to lower scales.
+type Fig10Result struct {
+	Entries []Fig10Entry
+}
+
+// Fig10 runs AdaScale with each Table-2 system over the validation split
+// and histograms the chosen scales.
+func (b *Bundle) Fig10() *Fig10Result {
+	res := &Fig10Result{}
+	for _, strain := range Table2Strains {
+		sys := b.System(strain, regressor.DefaultKernels)
+		outs := adascale.RunDataset(b.DS.Val, func(sn *synth.Snippet) []adascale.FrameOutput {
+			return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
+		})
+		counts := make([]int, len(Fig10Bins)-1)
+		for _, o := range outs {
+			for i := len(Fig10Bins) - 2; i >= 0; i-- {
+				if o.Scale >= Fig10Bins[i] {
+					counts[i]++
+					break
+				}
+			}
+		}
+		res.Entries = append(res.Entries, Fig10Entry{
+			Strain:    strain,
+			Counts:    counts,
+			MeanScale: adascale.MeanScale(outs),
+		})
+	}
+	return res
+}
+
+// Print writes the histograms as text bars.
+func (f *Fig10Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 10: regressed-scale distribution per S_train")
+	for _, e := range f.Entries {
+		fmt.Fprintf(w, "S_train %v (mean scale %.0f):\n", e.Strain, e.MeanScale)
+		total := 0
+		for _, c := range e.Counts {
+			total += c
+		}
+		for i, c := range e.Counts {
+			frac := 0.0
+			if total > 0 {
+				frac = float64(c) / float64(total)
+			}
+			fmt.Fprintf(w, "  [%3d-%3d) %5.1f%% %s\n", Fig10Bins[i], Fig10Bins[i+1], frac*100, bar(frac))
+		}
+	}
+	fmt.Fprintln(w, "(paper: larger S_train shifts mass to smaller scales — higher speed at equal or better mAP)")
+	fmt.Fprintln(w)
+}
+
+func bar(frac float64) string {
+	n := int(frac * 40)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

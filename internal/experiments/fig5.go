@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adascale/internal/eval"
+)
+
+// Fig5VIDCategories are the six categories the paper plots in Fig. 5:
+// three most-improved, one on-par, two most-degraded.
+var Fig5VIDCategories = []string{"lion", "squirrel", "horse", "airplane", "red panda", "bear"}
+
+// Fig5Result holds precision-recall curves per selected category per
+// method.
+type Fig5Result struct {
+	Categories []string
+	Methods    []string
+	// Curves[catIdx][methodIdx] is the PR curve.
+	Curves [][][]eval.PRPoint
+	// AP[catIdx][methodIdx] is the per-category AP.
+	AP [][]float64
+}
+
+// Fig5 evaluates the five standard methods and extracts PR curves for the
+// paper's six focus categories (categories missing from the dataset are
+// skipped, so the same code serves the YTBB-like bundle).
+func (b *Bundle) Fig5() *Fig5Result {
+	rows := b.StandardMethods()
+	res := &Fig5Result{}
+	for _, r := range rows {
+		res.Methods = append(res.Methods, r.Name)
+	}
+	for _, cat := range Fig5VIDCategories {
+		ci := b.classIndex(cat)
+		if ci < 0 {
+			continue
+		}
+		res.Categories = append(res.Categories, cat)
+		var curves [][]eval.PRPoint
+		var aps []float64
+		for i := range rows {
+			curves = append(curves, rows[i].Result().CurveAt(ci))
+			aps = append(aps, rows[i].PerClassAP[ci])
+		}
+		res.Curves = append(res.Curves, curves)
+		res.AP = append(res.AP, aps)
+	}
+	return res
+}
+
+// Print writes per-category AP and a coarse sampling of each PR curve as
+// CSV-style series (recall, precision pairs at recall deciles).
+func (f *Fig5Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 5: precision-recall curves for selected categories")
+	for ci, cat := range f.Categories {
+		fmt.Fprintf(w, "category %q  AP:", cat)
+		for mi, m := range f.Methods {
+			fmt.Fprintf(w, "  %s=%.3f", m, f.AP[ci][mi])
+		}
+		fmt.Fprintln(w)
+		for mi, m := range f.Methods {
+			fmt.Fprintf(w, "  %-12s precision@recall:", m)
+			curve := f.Curves[ci][mi]
+			for _, target := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+				fmt.Fprintf(w, " %.2f:%.2f", target, precisionAt(curve, target))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "(paper: MS/AdaScale tracks MS/MS closely and dominates MS/Random on every category)")
+	fmt.Fprintln(w)
+}
+
+// precisionAt reads the interpolated precision at a recall level (0 when
+// the curve never reaches it).
+func precisionAt(curve []eval.PRPoint, recall float64) float64 {
+	best := 0.0
+	for _, p := range curve {
+		if p.Recall >= recall && p.Precision > best {
+			best = p.Precision
+		}
+	}
+	return best
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig6Result holds true/false-positive counts per method, normalised to
+// SS/SS, overall and for the paper's six focus categories.
+type Fig6Result struct {
+	Methods []string
+
+	// TotalTP / TotalFP are normalised to the SS/SS method (index 0 of
+	// Methods is SS/SS with value 1.0 by construction).
+	TotalTP, TotalFP []float64
+
+	Categories []string
+	// CatTP[catIdx][methodIdx], CatFP likewise, normalised per category.
+	CatTP, CatFP [][]float64
+}
+
+// Fig6 counts detections: the paper's analysis of *where* AdaScale's gain
+// comes from — multi-scale training slashes false positives, AdaScale
+// removes even more while keeping true positives at the SS/SS level.
+func (b *Bundle) Fig6() *Fig6Result {
+	rows := b.StandardMethods()
+	res := &Fig6Result{}
+	baseTP, baseFP := rows[0].Result().TPFPCounts()
+	for _, r := range rows {
+		res.Methods = append(res.Methods, r.Name)
+		tp, fp := r.Result().TPFPCounts()
+		res.TotalTP = append(res.TotalTP, ratio(tp, baseTP))
+		res.TotalFP = append(res.TotalFP, ratio(fp, baseFP))
+	}
+	for _, cat := range Fig5VIDCategories {
+		ci := b.classIndex(cat)
+		if ci < 0 {
+			continue
+		}
+		res.Categories = append(res.Categories, cat)
+		bTP := rows[0].Result().PerClass[ci].TP
+		bFP := rows[0].Result().PerClass[ci].FP
+		var tps, fps []float64
+		for i := range rows {
+			c := rows[i].Result().PerClass[ci]
+			tps = append(tps, ratio(c.TP, bTP))
+			fps = append(fps, ratio(c.FP, bFP))
+		}
+		res.CatTP = append(res.CatTP, tps)
+		res.CatFP = append(res.CatFP, fps)
+	}
+	return res
+}
+
+func ratio(v, base int) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(v) / float64(base)
+}
+
+// Print writes the normalised counts.
+func (f *Fig6Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 6: true/false positives normalised to SS/SS")
+	header := fmt.Sprintf("%-12s %8s %8s", "method", "TP", "FP")
+	fmt.Fprintln(w, header)
+	printRuler(w, len(header))
+	for i, m := range f.Methods {
+		fmt.Fprintf(w, "%-12s %8.2f %8.2f\n", m, f.TotalTP[i], f.TotalFP[i])
+	}
+	for ci, cat := range f.Categories {
+		fmt.Fprintf(w, "category %q:\n", cat)
+		for mi, m := range f.Methods {
+			fmt.Fprintf(w, "  %-12s TP=%.2f FP=%.2f\n", m, f.CatTP[ci][mi], f.CatFP[ci][mi])
+		}
+	}
+	fmt.Fprintln(w, "(paper: MS training cuts FPs dramatically; MS/AdaScale cuts even more with TPs comparable to SS/SS)")
+	fmt.Fprintln(w)
+}

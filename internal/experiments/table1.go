@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table1Result reproduces Table 1 (a: ImageNet VID-like, b: mini
+// YouTube-BB-like): per-class AP, mAP and runtime for SS/SS, MS/SS and
+// MS/AdaScale.
+type Table1Result struct {
+	Dataset    string
+	ClassNames []string
+	Rows       []MethodRow
+}
+
+// Table1 evaluates the three main methods of the paper's Table 1 on the
+// bundle's validation split.
+func (b *Bundle) Table1() *Table1Result {
+	all := b.StandardMethods()
+	// Table 1 reports SS/SS, MS/SS and MS/AdaScale (the other two methods
+	// appear in Figs. 5-6).
+	rows := []MethodRow{all[0], all[1], all[4]}
+	return &Table1Result{Dataset: b.Cfg.Dataset, ClassNames: b.Classes(), Rows: rows}
+}
+
+// Print writes the table in the paper's layout: one row per method with
+// per-class AP, mAP and runtime. Per-class cells that improve (≥1 AP) over
+// SS/SS are marked '+', degradations '-' (the paper uses blue/red text).
+func (t *Table1Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table 1 (%s): per-class AP (%%), mAP (%%) and runtime (ms)\n", t.Dataset)
+	header := fmt.Sprintf("%-12s", "method")
+	for _, n := range t.ClassNames {
+		header += fmt.Sprintf(" %6.6s", n)
+	}
+	header += fmt.Sprintf(" | %6s %11s", "mAP", "runtime(ms)")
+	fmt.Fprintln(w, header)
+	printRuler(w, len(header))
+	base := t.Rows[0]
+	for _, r := range t.Rows {
+		line := fmt.Sprintf("%-12s", r.Name)
+		for c := range t.ClassNames {
+			mark := " "
+			diff := (r.PerClassAP[c] - base.PerClassAP[c]) * 100
+			if r.Name != base.Name {
+				if diff >= 1 {
+					mark = "+"
+				} else if diff <= -1 {
+					mark = "-"
+				}
+			}
+			line += fmt.Sprintf(" %5.1f%s", r.PerClassAP[c]*100, mark)
+		}
+		line += fmt.Sprintf(" | %6.1f %11.0f", r.MAP*100, r.RuntimeMS)
+		fmt.Fprintln(w, line)
+	}
+	ada, ss := t.Rows[len(t.Rows)-1], t.Rows[0]
+	fmt.Fprintf(w, "AdaScale vs SS/SS: %+.1f mAP, %.2fx speedup (paper: +1.3 mAP / 1.6x on VID, +2.7 / 1.8x on mini YTBB)\n\n",
+		(ada.MAP-ss.MAP)*100, ss.RuntimeMS/ada.RuntimeMS)
+}

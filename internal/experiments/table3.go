@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adascale/internal/adascale"
+	"adascale/internal/synth"
+)
+
+// Table3Kernels are the regressor branch architectures of the paper's
+// Table 3.
+var Table3Kernels = [][]int{{1}, {1, 3}, {1, 3, 5}}
+
+// Table3Entry is one regressor architecture's result.
+type Table3Entry struct {
+	Kernels []int
+	Ada     MethodRow
+}
+
+// Table3Result is the regressor-architecture ablation: both the module's
+// accuracy (which drives the scale decisions and with them detector cost)
+// and its own overhead affect the end-to-end numbers.
+type Table3Result struct {
+	Entries []Table3Entry
+}
+
+// Table3 retrains the regressor per kernel set over the default detector.
+func (b *Bundle) Table3() *Table3Result {
+	res := &Table3Result{}
+	for _, kernels := range Table3Kernels {
+		sys := b.System([]int{600, 480, 360, 240}, kernels)
+		ada := b.evaluateMethod("kernels "+scalesString(kernels), func(sn *synth.Snippet) []adascale.FrameOutput {
+			return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
+		})
+		res.Entries = append(res.Entries, Table3Entry{Kernels: kernels, Ada: ada})
+	}
+	return res
+}
+
+// Print writes the paper's Table 3 layout.
+func (t *Table3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: mAP and runtime for different regressor architectures")
+	header := fmt.Sprintf("%-14s %10s %12s %12s", "kernel size", "mAP", "runtime(ms)", "mean scale")
+	fmt.Fprintln(w, header)
+	printRuler(w, len(header))
+	for _, e := range t.Entries {
+		fmt.Fprintf(w, "%-14s %10.1f %12.0f %12.0f\n",
+			scalesString(e.Kernels), e.Ada.MAP*100, e.Ada.RuntimeMS, e.Ada.MeanScale)
+	}
+	fmt.Fprintln(w, "(paper: mAP 75.3/75.5/75.5 and runtime 51/47/50 ms — {1,3} is the sweet spot)")
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,134 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adascale/internal/detect"
+	"adascale/internal/raster"
+)
+
+// texturedImage builds a random-texture image so block matching has
+// structure to lock onto.
+func texturedImage(rng *rand.Rand, w, h int) *raster.Image {
+	im := raster.New(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float32()
+	}
+	return im.BoxBlur(1) // correlate neighbours slightly
+}
+
+// shifted returns a copy of im translated by (dx, dy), filling new pixels
+// with mid-gray.
+func shifted(im *raster.Image, dx, dy int) *raster.Image {
+	out := raster.New(im.W, im.H)
+	out.Fill(0.5)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			sx, sy := x-dx, y-dy
+			if sx >= 0 && sx < im.W && sy >= 0 && sy < im.H {
+				out.Pix[y*im.W+x] = im.Pix[sy*im.W+sx]
+			}
+		}
+	}
+	return out
+}
+
+func TestZeroFlowOnIdenticalFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	im := texturedImage(rng, 48, 32)
+	f := Estimate(im, im, 8, 4)
+	if f.MeanMagnitude() != 0 {
+		t.Fatalf("identical frames must give zero flow, got %v", f.MeanMagnitude())
+	}
+	if f.MeanResidual() != 0 {
+		t.Fatalf("identical frames must match perfectly, residual %v", f.MeanResidual())
+	}
+}
+
+func TestRecoversGlobalTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	im := texturedImage(rng, 64, 48)
+	for _, shift := range [][2]int{{3, 0}, {0, -2}, {2, 2}, {-3, 1}} {
+		cur := shifted(im, shift[0], shift[1])
+		f := Estimate(im, cur, 8, 4)
+		// Interior blocks (away from borders where fill dominates) must
+		// recover the exact displacement.
+		okCount, total := 0, 0
+		for by := 1; by < f.Rows-1; by++ {
+			for bx := 1; bx < f.Cols-1; bx++ {
+				i := by*f.Cols + bx
+				total++
+				if int(f.U[i]) == shift[0] && int(f.V[i]) == shift[1] {
+					okCount++
+				}
+			}
+		}
+		if float64(okCount) < 0.8*float64(total) {
+			t.Fatalf("shift %v: only %d/%d interior blocks recovered", shift, okCount, total)
+		}
+	}
+}
+
+func TestFieldAtClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	im := texturedImage(rng, 32, 32)
+	f := Estimate(im, shifted(im, 1, 0), 8, 2)
+	// Out-of-range lookups clamp to border cells rather than panicking.
+	u1, v1 := f.At(-5, -5)
+	u2, v2 := f.At(0, 0)
+	if u1 != u2 || v1 != v2 {
+		t.Fatal("negative lookup must clamp to cell (0,0)")
+	}
+	f.At(1000, 1000) // must not panic
+}
+
+func TestWarpBoxFollowsMotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	im := texturedImage(rng, 64, 64)
+	cur := shifted(im, 3, 2)
+	f := Estimate(im, cur, 8, 4)
+	b := detect.Box{X1: 16, Y1: 16, X2: 40, Y2: 40}
+	w := f.WarpBox(b)
+	if math.Abs(w.X1-b.X1-3) > 1.5 || math.Abs(w.Y1-b.Y1-2) > 1.5 {
+		t.Fatalf("warped box %v does not follow the (3,2) motion from %v", w, b)
+	}
+	// A box fully outside the field is returned unchanged.
+	out := detect.Box{X1: -100, Y1: -100, X2: -90, Y2: -90}
+	if f.WarpBox(out) != out {
+		t.Fatal("out-of-field box must be unchanged")
+	}
+}
+
+func TestResidualSignalsUnreliableFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prev := texturedImage(rng, 48, 48)
+	// Completely unrelated next frame: no displacement explains it.
+	unrelated := texturedImage(rand.New(rand.NewSource(99)), 48, 48)
+	translated := shifted(prev, 2, 0)
+	fBad := Estimate(prev, unrelated, 8, 3)
+	fGood := Estimate(prev, translated, 8, 3)
+	if fBad.MeanResidual() <= fGood.MeanResidual() {
+		t.Fatalf("unrelated frames should have higher residual: %v vs %v",
+			fBad.MeanResidual(), fGood.MeanResidual())
+	}
+}
+
+func TestMismatchedSizesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Estimate(raster.New(10, 10), raster.New(20, 10), 4, 2)
+}
+
+func TestSmallBlockClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	im := texturedImage(rng, 16, 16)
+	f := Estimate(im, im, 1, 1) // block clamps to 2
+	if f.Block != 2 {
+		t.Fatalf("block = %d, want clamp to 2", f.Block)
+	}
+}

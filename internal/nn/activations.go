@@ -1,0 +1,98 @@
+package nn
+
+import "adascale/internal/tensor"
+
+// ReLU applies max(0, x) elementwise. Shape-preserving.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies the rectifier and records the active mask for Backward.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	if cap(r.mask) < len(d) {
+		r.mask = make([]bool, len(d))
+	}
+	r.mask = r.mask[:len(d)]
+	for i, v := range d {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward zeroes gradient entries where the input was non-positive.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	out := dy.Clone()
+	d := out.Data()
+	if len(r.mask) != len(d) {
+		panic("nn: ReLU.Backward shape does not match last Forward")
+	}
+	for i := range d {
+		if !r.mask[i] {
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh applies the hyperbolic tangent elementwise. The AdaScale regressor
+// target is a normalised relative scale in [-1, 1] (Eq. 3), so a Tanh output
+// head keeps predictions in range by construction.
+type Tanh struct {
+	lastY *tensor.Tensor
+}
+
+// NewTanh returns a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh elementwise.
+func (t *Tanh) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		d[i] = tanh32(v)
+	}
+	t.lastY = out
+	return out
+}
+
+// Backward multiplies by 1 - y².
+func (t *Tanh) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if t.lastY == nil {
+		panic("nn: Tanh.Backward called before Forward")
+	}
+	out := dy.Clone()
+	d := out.Data()
+	yd := t.lastY.Data()
+	for i := range d {
+		d[i] *= 1 - yd[i]*yd[i]
+	}
+	return out
+}
+
+// Params returns nil; Tanh has no parameters.
+func (t *Tanh) Params() []*Param { return nil }
+
+func tanh32(x float32) float32 {
+	// Clamp to avoid overflow in exp; tanh saturates well before ±20.
+	if x > 20 {
+		return 1
+	}
+	if x < -20 {
+		return -1
+	}
+	e2 := exp32(2 * x)
+	return (e2 - 1) / (e2 + 1)
+}

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"math"
+
+	"adascale/internal/tensor"
+)
+
+// Adam implements the Adam optimiser (Kingma & Ba, 2015). The paper's
+// recipe uses SGD with momentum; Adam is provided for downstream users of
+// the framework who train the regressor on their own feature scales, where
+// its per-parameter step sizes remove the learning-rate sweep.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	step int
+	m, v map[*Param]*tensor.Tensor
+}
+
+// NewAdam creates an Adam optimiser with the standard defaults
+// (β1 = 0.9, β2 = 0.999, ε = 1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: make(map[*Param]*tensor.Tensor),
+		v: make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step applies one bias-corrected Adam update from the accumulated
+// gradients (call ZeroGrads before the next accumulation).
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.W.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.W.Shape()...)
+		}
+		v := a.v[p]
+		md, vd, gd, wd := m.Data(), v.Data(), p.Grad.Data(), p.W.Data()
+		b1, b2 := float32(a.Beta1), float32(a.Beta2)
+		for i := range wd {
+			g := gd[i]
+			md[i] = b1*md[i] + (1-b1)*g
+			vd[i] = b2*vd[i] + (1-b2)*g*g
+			mHat := float64(md[i]) / c1
+			vHat := float64(vd[i]) / c2
+			wd[i] -= float32(a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon))
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adascale/internal/tensor"
+)
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	target := tensor.New(8)
+	target.RandNormal(rng, 0, 1)
+	p := NewParam("w", tensor.New(8))
+	opt := NewAdam(0.05)
+	for it := 0; it < 500; it++ {
+		p.ZeroGrad()
+		for i := range p.Grad.Data() {
+			p.Grad.Data()[i] = p.W.Data()[i] - target.Data()[i]
+		}
+		opt.Step([]*Param{p})
+	}
+	for i := range p.W.Data() {
+		if math.Abs(float64(p.W.Data()[i]-target.Data()[i])) > 1e-2 {
+			t.Fatalf("Adam did not converge: %v vs %v", p.W.Data()[i], target.Data()[i])
+		}
+	}
+}
+
+func TestAdamHandlesSparseScaleImbalance(t *testing.T) {
+	// Two coordinates with gradients three orders of magnitude apart:
+	// Adam's per-parameter normalisation must move both; fixed-LR SGD at
+	// the same rate barely moves the small one.
+	p := NewParam("w", tensor.FromSlice([]float32{1, 1}, 2))
+	opt := NewAdam(0.01)
+	for it := 0; it < 200; it++ {
+		p.ZeroGrad()
+		p.Grad.Data()[0] = 1000 * p.W.Data()[0]
+		p.Grad.Data()[1] = 0.001 * p.W.Data()[1]
+		opt.Step([]*Param{p})
+		if v := p.W.Data()[0]; math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("Adam diverged on the large-gradient coordinate")
+		}
+	}
+	if p.W.Data()[1] > 0.5 {
+		t.Fatalf("small-gradient coordinate barely moved: %v", p.W.Data()[1])
+	}
+}
+
+func TestAdamTrainsNetworkEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewSequential(
+		NewConv2D(rng, 1, 4, 3, 1, -1),
+		NewReLU(),
+		NewGlobalAvgPool(),
+		NewDense(rng, 4, 1),
+	)
+	opt := NewAdam(0.02)
+	var last float64
+	for epoch := 0; epoch < 150; epoch++ {
+		ZeroGrads(net.Params())
+		var total float64
+		for b := 0; b < 6; b++ {
+			x := tensor.New(1, 5, 5)
+			var tgt float32
+			if b%2 == 0 {
+				x.RandUniform(rng, 0.7, 1)
+				tgt = 1
+			} else {
+				x.RandUniform(rng, 0, 0.3)
+				tgt = -1
+			}
+			y := net.Forward(x)
+			loss, grad := MSELoss(y, tensor.FromSlice([]float32{tgt}, 1))
+			total += loss
+			net.Backward(grad)
+		}
+		opt.Step(net.Params())
+		last = total / 6
+	}
+	if last > 0.05 {
+		t.Fatalf("Adam training failed to converge: final loss %v", last)
+	}
+}
+
+func TestMaxPool2DForwardBackward(t *testing.T) {
+	m := NewMaxPool2D(2)
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	y := m.Forward(x)
+	if y.Dim(1) != 2 || y.Dim(2) != 2 {
+		t.Fatalf("output shape %v", y.Shape())
+	}
+	want := []float32{6, 8, 14, 16}
+	for i, v := range y.Data() {
+		if v != want[i] {
+			t.Fatalf("pool[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	dx := m.Backward(tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2))
+	if dx.At(0, 1, 1) != 1 || dx.At(0, 1, 3) != 2 || dx.At(0, 3, 1) != 3 || dx.At(0, 3, 3) != 4 {
+		t.Fatalf("backward routing wrong: %v", dx.Data())
+	}
+	if dx.Sum() != 10 {
+		t.Fatalf("backward must conserve gradient mass, sum %v", dx.Sum())
+	}
+}
+
+func TestMaxPool2DGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMaxPool2D(2)
+	x := tensor.New(2, 6, 6)
+	x.RandNormal(rng, 0, 1)
+	gradCheck(t, m, x, rng)
+}
+
+func TestMaxPool2DDegenerateSizes(t *testing.T) {
+	m := NewMaxPool2D(0) // clamps to 1 (identity)
+	if m.Size != 1 {
+		t.Fatalf("size = %d", m.Size)
+	}
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	y := m.Forward(x)
+	for i := range x.Data() {
+		if y.Data()[i] != x.Data()[i] {
+			t.Fatal("size-1 pooling must be identity")
+		}
+	}
+	// Window larger than input still produces one output.
+	big := NewMaxPool2D(8)
+	out := big.Forward(x)
+	if out.Dim(1) != 1 || out.Dim(2) != 1 || out.At(0, 0, 0) != 4 {
+		t.Fatalf("oversized window output %v", out)
+	}
+}

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adascale/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over C×H×W inputs with square kernels,
+// symmetric zero padding and stride. Implemented as im2col + matmul so the
+// same tested kernels serve forward and backward passes.
+type Conv2D struct {
+	InC, OutC           int
+	Kernel, Stride, Pad int
+
+	Weight *Param // OutC × InC × K × K
+	Bias   *Param // OutC
+
+	// cached from the last Forward call
+	lastCols       *tensor.Tensor
+	lastH, lastW   int
+	lastHo, lastWo int
+}
+
+// NewConv2D creates a convolution with He-initialised weights and zero
+// biases. Pad defaults to "same" for stride 1 when pad < 0.
+func NewConv2D(rng *rand.Rand, inC, outC, kernel, stride, pad int) *Conv2D {
+	if pad < 0 {
+		pad = kernel / 2
+	}
+	w := tensor.New(outC, inC, kernel, kernel)
+	w.HeInit(rng, inC*kernel*kernel)
+	return &Conv2D{
+		InC: inC, OutC: outC, Kernel: kernel, Stride: stride, Pad: pad,
+		Weight: NewParam(fmt.Sprintf("conv%dx%d.weight", kernel, kernel), w),
+		Bias:   NewParam(fmt.Sprintf("conv%dx%d.bias", kernel, kernel), tensor.New(outC)),
+	}
+}
+
+// Forward computes the convolution of a C×H×W input.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	mustDims(x, 3, "Conv2D")
+	if x.Dim(0) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects %d input channels, got %d", c.InC, x.Dim(0)))
+	}
+	h, w := x.Dim(1), x.Dim(2)
+	ho := tensor.ConvOutSize(h, c.Kernel, c.Stride, c.Pad)
+	wo := tensor.ConvOutSize(w, c.Kernel, c.Stride, c.Pad)
+	cols := tensor.Im2Col(x, c.Kernel, c.Stride, c.Pad)
+	wm := c.Weight.W.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
+	out := tensor.MatMul(wm, cols) // OutC × (Ho·Wo)
+	od := out.Data()
+	bd := c.Bias.W.Data()
+	n := ho * wo
+	for co := 0; co < c.OutC; co++ {
+		b := bd[co]
+		row := od[co*n : (co+1)*n]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	c.lastCols, c.lastH, c.lastW, c.lastHo, c.lastWo = cols, h, w, ho, wo
+	return out.Reshape(c.OutC, ho, wo)
+}
+
+// Backward accumulates weight/bias gradients and returns dL/dx.
+func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if c.lastCols == nil {
+		panic("nn: Conv2D.Backward called before Forward")
+	}
+	n := c.lastHo * c.lastWo
+	dym := dy.Reshape(c.OutC, n)
+
+	// dW = dy · colsᵀ
+	dw := tensor.MatMulABT(dym, c.lastCols)
+	c.Weight.Grad.AddInPlace(dw.Reshape(c.Weight.W.Shape()...))
+
+	// db = row sums of dy
+	bd := c.Bias.Grad.Data()
+	dyd := dym.Data()
+	for co := 0; co < c.OutC; co++ {
+		var s float32
+		for _, v := range dyd[co*n : (co+1)*n] {
+			s += v
+		}
+		bd[co] += s
+	}
+
+	// dx = Col2Im(Wᵀ · dy)
+	wm := c.Weight.W.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
+	dcols := tensor.MatMulATB(wm, dym)
+	return tensor.Col2Im(dcols, c.InC, c.lastH, c.lastW, c.Kernel, c.Stride, c.Pad)
+}
+
+// Params returns the weight and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adascale/internal/tensor"
+)
+
+// Dense is a fully-connected layer mapping a length-In vector to a
+// length-Out vector: y = W·x + b.
+type Dense struct {
+	In, Out int
+	Weight  *Param // Out × In
+	Bias    *Param // Out
+
+	lastX *tensor.Tensor
+}
+
+// NewDense creates a Dense layer with Xavier-initialised weights.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	w := tensor.New(out, in)
+	w.XavierInit(rng, in, out)
+	return &Dense{
+		In: in, Out: out,
+		Weight: NewParam("dense.weight", w),
+		Bias:   NewParam("dense.bias", tensor.New(out)),
+	}
+}
+
+// Forward computes W·x + b for a 1-D input of length In.
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	mustDims(x, 1, "Dense")
+	if x.Dim(0) != d.In {
+		panic(fmt.Sprintf("nn: Dense expects input length %d, got %d", d.In, x.Dim(0)))
+	}
+	d.lastX = x
+	out := tensor.MatMul(d.Weight.W, x.Reshape(d.In, 1))
+	y := out.Reshape(d.Out)
+	y.AddInPlace(d.Bias.W)
+	return y
+}
+
+// Backward accumulates dW = dy·xᵀ and db = dy, and returns dx = Wᵀ·dy.
+func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward called before Forward")
+	}
+	dyCol := dy.Reshape(d.Out, 1)
+	dw := tensor.MatMulABT(dyCol, d.lastX.Reshape(d.In, 1))
+	d.Weight.Grad.AddInPlace(dw)
+	d.Bias.Grad.AddInPlace(dy.Reshape(d.Out))
+	dx := tensor.MatMulATB(d.Weight.W, dyCol)
+	return dx.Reshape(d.In)
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }

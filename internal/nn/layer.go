@@ -1,0 +1,98 @@
+// Package nn is a small from-scratch neural network framework: layers with
+// forward/backward passes, losses, SGD with momentum and step learning-rate
+// schedules, and binary weight (de)serialisation. It exists to train the
+// AdaScale scale-regressor (the paper's core contribution) for real, on CPU,
+// with no dependencies beyond the standard library.
+//
+// Layers operate on single samples (the paper trains with batch size 2; the
+// training loops accumulate gradients across a mini-batch before stepping).
+// Layers cache their last input between Forward and Backward and are
+// therefore not safe for concurrent use; clone a network per goroutine
+// instead.
+package nn
+
+import (
+	"fmt"
+
+	"adascale/internal/tensor"
+)
+
+// Param is a trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// NewParam allocates a parameter and a matching zeroed gradient.
+func NewParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, Grad: tensor.New(w.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module. Backward must be called after Forward
+// with the gradient of the loss w.r.t. the layer output; it accumulates
+// parameter gradients (without zeroing them first) and returns the gradient
+// w.r.t. the layer input.
+type Layer interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Sequential chains layers; the output of layer i feeds layer i+1.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dy through the layers in reverse order.
+func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears the gradients of every parameter in ps.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}
+
+// CountParams returns the total number of scalar parameters in ps.
+func CountParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.W.Size()
+	}
+	return n
+}
+
+func mustDims(x *tensor.Tensor, dims int, layer string) {
+	if x.Dims() != dims {
+		panic(fmt.Sprintf("nn: %s expects a %d-D input, got shape %v", layer, dims, x.Shape()))
+	}
+}

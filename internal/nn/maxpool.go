@@ -1,0 +1,76 @@
+package nn
+
+import "adascale/internal/tensor"
+
+// MaxPool2D is a spatial max-pooling layer over C×H×W inputs with square
+// windows and matching stride (the common non-overlapping configuration).
+type MaxPool2D struct {
+	Size int
+
+	lastC, lastH, lastW int
+	argmax              []int
+}
+
+// NewMaxPool2D creates a max-pooling layer with the given window size.
+func NewMaxPool2D(size int) *MaxPool2D {
+	if size < 1 {
+		size = 1
+	}
+	return &MaxPool2D{Size: size}
+}
+
+// Forward pools each Size×Size window to its maximum. Trailing rows and
+// columns that do not fill a window are dropped (floor semantics).
+func (m *MaxPool2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	mustDims(x, 3, "MaxPool2D")
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	m.lastC, m.lastH, m.lastW = c, h, w
+	ho, wo := h/m.Size, w/m.Size
+	if ho < 1 {
+		ho = 1
+	}
+	if wo < 1 {
+		wo = 1
+	}
+	out := tensor.New(c, ho, wo)
+	if cap(m.argmax) < c*ho*wo {
+		m.argmax = make([]int, c*ho*wo)
+	}
+	m.argmax = m.argmax[:c*ho*wo]
+	xd, od := x.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		plane := xd[ch*h*w : (ch+1)*h*w]
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				bestI := (oy * m.Size * w) + ox*m.Size
+				best := plane[bestI]
+				for ky := 0; ky < m.Size && oy*m.Size+ky < h; ky++ {
+					for kx := 0; kx < m.Size && ox*m.Size+kx < w; kx++ {
+						i := (oy*m.Size+ky)*w + ox*m.Size + kx
+						if plane[i] > best {
+							best, bestI = plane[i], i
+						}
+					}
+				}
+				oi := (ch*ho+oy)*wo + ox
+				od[oi] = best
+				m.argmax[oi] = ch*h*w + bestI
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each output gradient to the input position that won the
+// max.
+func (m *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(m.lastC, m.lastH, m.lastW)
+	od, dyd := out.Data(), dy.Data()
+	for i, src := range m.argmax {
+		od[src] += dyd[i]
+	}
+	return out
+}
+
+// Params returns nil; pooling has no parameters.
+func (m *MaxPool2D) Params() []*Param { return nil }

@@ -1,0 +1,420 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adascale/internal/tensor"
+)
+
+// projLoss is a deterministic scalar loss L = Σ r⊙y over the layer output,
+// whose gradient w.r.t. y is simply r. Used to drive finite-difference
+// gradient checks.
+func projLoss(y, r *tensor.Tensor) float64 {
+	var s float64
+	yd, rd := y.Data(), r.Data()
+	for i := range yd {
+		s += float64(yd[i]) * float64(rd[i])
+	}
+	return s
+}
+
+// gradCheck verifies analytic input and parameter gradients of layer
+// against central finite differences.
+func gradCheck(t *testing.T, layer Layer, x *tensor.Tensor, rng *rand.Rand) {
+	t.Helper()
+	y := layer.Forward(x)
+	r := tensor.New(y.Shape()...)
+	r.RandNormal(rng, 0, 1)
+	ZeroGrads(layer.Params())
+	dx := layer.Backward(r)
+
+	const eps = 1e-2
+	const tol = 2e-2
+
+	check := func(name string, w *tensor.Tensor, analytic *tensor.Tensor) {
+		for _, idx := range sampleIndices(rng, w.Size(), 12) {
+			orig := w.Data()[idx]
+			w.Data()[idx] = orig + eps
+			lp := projLoss(layer.Forward(x), r)
+			w.Data()[idx] = orig - eps
+			lm := projLoss(layer.Forward(x), r)
+			w.Data()[idx] = orig
+			fd := (lp - lm) / (2 * eps)
+			an := float64(analytic.Data()[idx])
+			if math.Abs(fd-an) > tol*(1+math.Abs(fd)) {
+				t.Fatalf("%s grad[%d]: analytic %v vs finite-diff %v", name, idx, an, fd)
+			}
+		}
+	}
+	check("input", x, dx)
+	for _, p := range layer.Params() {
+		check(p.Name, p.W, p.Grad)
+	}
+	// Restore caches for any subsequent use.
+	layer.Forward(x)
+}
+
+func sampleIndices(rng *rand.Rand, n, k int) []int {
+	if n <= k {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := map[int]bool{}
+	var out []int
+	for len(out) < k {
+		i := rng.Intn(n)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, kernel := range []int{1, 3, 5} {
+		conv := NewConv2D(rng, 3, 4, kernel, 1, -1)
+		x := tensor.New(3, 7, 6)
+		x.RandNormal(rng, 0, 1)
+		gradCheck(t, conv, x, rng)
+	}
+}
+
+func TestConv2DStridedGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	conv := NewConv2D(rng, 2, 3, 3, 2, 1)
+	x := tensor.New(2, 9, 8)
+	x.RandNormal(rng, 0, 1)
+	gradCheck(t, conv, x, rng)
+}
+
+func TestConv2DOutputShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	conv := NewConv2D(rng, 3, 8, 3, 1, -1)
+	y := conv.Forward(tensor.New(3, 10, 14))
+	if y.Dim(0) != 8 || y.Dim(1) != 10 || y.Dim(2) != 14 {
+		t.Fatalf("same-pad conv output shape %v", y.Shape())
+	}
+}
+
+func TestConv2DBiasApplied(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	conv := NewConv2D(rng, 1, 2, 1, 1, 0)
+	conv.Weight.W.Zero()
+	conv.Bias.W.Set(1.5, 0)
+	conv.Bias.W.Set(-2, 1)
+	y := conv.Forward(tensor.Full(3, 1, 2, 2))
+	if y.At(0, 0, 0) != 1.5 || y.At(1, 1, 1) != -2 {
+		t.Fatalf("bias not applied: %v", y.Data())
+	}
+}
+
+func TestDenseForwardKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d := NewDense(rng, 2, 2)
+	copy(d.Weight.W.Data(), []float32{1, 2, 3, 4})
+	copy(d.Bias.W.Data(), []float32{0.5, -0.5})
+	y := d.Forward(tensor.FromSlice([]float32{1, 1}, 2))
+	if y.At(0) != 3.5 || y.At(1) != 6.5 {
+		t.Fatalf("Dense forward = %v", y.Data())
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	d := NewDense(rng, 6, 4)
+	x := tensor.New(6)
+	x.RandNormal(rng, 0, 1)
+	gradCheck(t, d, x, rng)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice([]float32{-1, 0, 2}, 3)
+	y := r.Forward(x)
+	if y.At(0) != 0 || y.At(1) != 0 || y.At(2) != 2 {
+		t.Fatalf("ReLU forward = %v", y.Data())
+	}
+	dy := tensor.FromSlice([]float32{5, 5, 5}, 3)
+	dx := r.Backward(dy)
+	if dx.At(0) != 0 || dx.At(1) != 0 || dx.At(2) != 5 {
+		t.Fatalf("ReLU backward = %v", dx.Data())
+	}
+}
+
+func TestTanhGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	layer := NewTanh()
+	x := tensor.New(5)
+	x.RandNormal(rng, 0, 1)
+	gradCheck(t, layer, x, rng)
+}
+
+func TestTanhSaturation(t *testing.T) {
+	layer := NewTanh()
+	y := layer.Forward(tensor.FromSlice([]float32{100, -100, 0}, 3))
+	if y.At(0) != 1 || y.At(1) != -1 || y.At(2) != 0 {
+		t.Fatalf("Tanh saturation = %v", y.Data())
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	g := NewGlobalAvgPool()
+	x := tensor.FromSlice([]float32{1, 2, 3, 4, 10, 10, 10, 10}, 2, 2, 2)
+	y := g.Forward(x)
+	if y.At(0) != 2.5 || y.At(1) != 10 {
+		t.Fatalf("avg pool = %v", y.Data())
+	}
+	dx := g.Backward(tensor.FromSlice([]float32{4, 8}, 2))
+	if dx.At(0, 0, 0) != 1 || dx.At(1, 1, 1) != 2 {
+		t.Fatalf("avg pool backward = %v", dx.Data())
+	}
+}
+
+func TestGlobalMaxPool(t *testing.T) {
+	g := NewGlobalMaxPool()
+	x := tensor.FromSlice([]float32{1, 7, 3, 4, -1, -2, -3, -9}, 2, 2, 2)
+	y := g.Forward(x)
+	if y.At(0) != 7 || y.At(1) != -1 {
+		t.Fatalf("max pool = %v", y.Data())
+	}
+	dx := g.Backward(tensor.FromSlice([]float32{1, 1}, 2))
+	if dx.At(0, 0, 1) != 1 || dx.At(1, 0, 0) != 1 {
+		t.Fatalf("max pool backward = %v", dx.Data())
+	}
+	if dx.Sum() != 2 {
+		t.Fatalf("max pool backward should route exactly the incoming mass, sum=%v", dx.Sum())
+	}
+}
+
+func TestSequentialComposesAndBackprops(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	net := NewSequential(
+		NewConv2D(rng, 1, 2, 3, 1, -1),
+		NewReLU(),
+		NewGlobalAvgPool(),
+		NewDense(rng, 2, 1),
+	)
+	x := tensor.New(1, 6, 6)
+	x.RandNormal(rng, 0, 1)
+	y := net.Forward(x)
+	if y.Dims() != 1 || y.Dim(0) != 1 {
+		t.Fatalf("output shape %v", y.Shape())
+	}
+	if got := CountParams(net.Params()); got != 1*2*3*3+2+2+1 {
+		t.Fatalf("CountParams = %d", got)
+	}
+	gradCheck(t, net, x, rng)
+}
+
+func TestMSELossValueAndGrad(t *testing.T) {
+	pred := tensor.FromSlice([]float32{2, 0}, 2)
+	target := tensor.FromSlice([]float32{0, 0}, 2)
+	loss, grad := MSELoss(pred, target)
+	if math.Abs(loss-1) > 1e-9 { // ½·(4+0)/2
+		t.Fatalf("MSE loss = %v, want 1", loss)
+	}
+	if grad.At(0) != 1 || grad.At(1) != 0 {
+		t.Fatalf("MSE grad = %v", grad.Data())
+	}
+}
+
+func TestSmoothL1(t *testing.T) {
+	if got := SmoothL1Scalar(0.5); got != 0.125 {
+		t.Fatalf("SmoothL1(0.5) = %v", got)
+	}
+	if got := SmoothL1Scalar(-2); got != 1.5 {
+		t.Fatalf("SmoothL1(-2) = %v", got)
+	}
+	if got := SmoothL1Scalar(1); got != 0.5 {
+		t.Fatalf("SmoothL1(1) = %v (continuity point)", got)
+	}
+	p := tensor.FromSlice([]float32{1, 3}, 2)
+	q := tensor.FromSlice([]float32{1, 0}, 2)
+	if got := SmoothL1(p, q); got != 2.5 {
+		t.Fatalf("SmoothL1 tensor = %v", got)
+	}
+}
+
+// Property: softmax output is a probability simplex point.
+func TestSoftmaxIsDistribution(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 500 {
+				return true // skip pathological inputs
+			}
+		}
+		p := Softmax([]float64{a, b, c})
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossEntropyClampsZero(t *testing.T) {
+	v := CrossEntropy([]float64{0, 1}, 0)
+	if math.IsInf(v, 0) || v <= 0 {
+		t.Fatalf("CrossEntropy(0) = %v, want large finite positive", v)
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// Minimise f(w) = ½‖w - w*‖² with gradient w - w*.
+	rng := rand.New(rand.NewSource(18))
+	target := tensor.New(8)
+	target.RandNormal(rng, 0, 1)
+	p := NewParam("w", tensor.New(8))
+	opt := NewSGD(0.1)
+	for it := 0; it < 300; it++ {
+		p.ZeroGrad()
+		for i := range p.Grad.Data() {
+			p.Grad.Data()[i] = p.W.Data()[i] - target.Data()[i]
+		}
+		opt.Step([]*Param{p})
+	}
+	for i := range p.W.Data() {
+		if math.Abs(float64(p.W.Data()[i]-target.Data()[i])) > 1e-3 {
+			t.Fatalf("SGD did not converge: %v vs %v", p.W.Data(), target.Data())
+		}
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := NewParam("w", tensor.Full(1, 1))
+	opt := NewSGD(0.1)
+	opt.Momentum = 0
+	opt.WeightDecay = 1
+	p.ZeroGrad()
+	opt.Step([]*Param{p})
+	if p.W.At(0) >= 1 {
+		t.Fatal("weight decay should shrink the weight with zero gradient")
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	// Regressor recipe: base 1e-4, ÷10 after 1.3 of 2 epochs (fraction 0.65).
+	s := StepSchedule{Base: 1e-4, Drops: []float64{0.65}}
+	if got := s.LR(0); got != 1e-4 {
+		t.Fatalf("LR(0) = %v", got)
+	}
+	if got := s.LR(0.64); got != 1e-4 {
+		t.Fatalf("LR(0.64) = %v", got)
+	}
+	if got := s.LR(0.65); math.Abs(got-1e-5) > 1e-12 {
+		t.Fatalf("LR(0.65) = %v", got)
+	}
+	two := StepSchedule{Base: 2.5e-4, Drops: []float64{0.325, 0.65}}
+	if got := two.LR(1); math.Abs(got-2.5e-6) > 1e-15 {
+		t.Fatalf("double drop LR = %v", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	net := NewSequential(NewConv2D(rng, 2, 3, 3, 1, -1), NewDense(rng, 3, 1))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	net2 := NewSequential(NewConv2D(rng, 2, 3, 3, 1, -1), NewDense(rng, 3, 1))
+	if err := LoadParams(&buf, net2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range net.Params() {
+		q := net2.Params()[i]
+		for j := range p.W.Data() {
+			if p.W.Data()[j] != q.W.Data()[j] {
+				t.Fatalf("param %s differs after round trip", p.Name)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := NewDense(rng, 4, 2)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	b := NewDense(rng, 5, 2)
+	if err := LoadParams(&buf, b.Params()); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := NewDense(rng, 2, 2)
+	if err := LoadParams(bytes.NewReader([]byte("NOT-A-WEIGHT-FILE")), d.Params()); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	conv := NewConv2D(rng, 1, 1, 3, 1, -1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	conv.Backward(tensor.New(1, 3, 3))
+}
+
+// Integration: a tiny network can fit a simple nonlinear function, proving
+// the full forward/backward/step loop learns.
+func TestEndToEndLearning(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net := NewSequential(
+		NewConv2D(rng, 1, 4, 3, 1, -1),
+		NewReLU(),
+		NewGlobalAvgPool(),
+		NewDense(rng, 4, 1),
+		NewTanh(),
+	)
+	// Target: bright images → +0.8, dark images → -0.8.
+	sample := func(bright bool) (*tensor.Tensor, float32) {
+		x := tensor.New(1, 5, 5)
+		if bright {
+			x.RandUniform(rng, 0.7, 1)
+			return x, 0.8
+		}
+		x.RandUniform(rng, 0, 0.3)
+		return x, -0.8
+	}
+	opt := NewSGD(0.05)
+	var last float64
+	for epoch := 0; epoch < 200; epoch++ {
+		ZeroGrads(net.Params())
+		var total float64
+		for b := 0; b < 8; b++ {
+			x, tgt := sample(b%2 == 0)
+			y := net.Forward(x)
+			loss, grad := MSELoss(y, tensor.FromSlice([]float32{tgt}, 1))
+			total += loss
+			net.Backward(grad)
+		}
+		opt.Step(net.Params())
+		last = total / 8
+	}
+	if last > 0.02 {
+		t.Fatalf("network failed to learn: final loss %v", last)
+	}
+}

@@ -1,0 +1,105 @@
+package nn
+
+import "adascale/internal/tensor"
+
+// GlobalAvgPool reduces a C×H×W tensor to a length-C vector by averaging
+// each channel plane. The paper's Fig. 4 regressor uses global pooling as a
+// "voting" stage over spatial positions, which also makes the module
+// input-size agnostic — required because AdaScale feeds it feature maps
+// from images at arbitrary scales.
+type GlobalAvgPool struct {
+	lastH, lastW int
+}
+
+// NewGlobalAvgPool returns a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward averages each channel plane.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+	mustDims(x, 3, "GlobalAvgPool")
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	g.lastH, g.lastW = h, w
+	out := tensor.New(c)
+	xd, od := x.Data(), out.Data()
+	n := h * w
+	inv := 1 / float32(n)
+	for ch := 0; ch < c; ch++ {
+		var s float32
+		for _, v := range xd[ch*n : (ch+1)*n] {
+			s += v
+		}
+		od[ch] = s * inv
+	}
+	return out
+}
+
+// Backward spreads each channel gradient uniformly over its plane.
+func (g *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	c := dy.Dim(0)
+	n := g.lastH * g.lastW
+	out := tensor.New(c, g.lastH, g.lastW)
+	od, dyd := out.Data(), dy.Data()
+	inv := 1 / float32(n)
+	for ch := 0; ch < c; ch++ {
+		v := dyd[ch] * inv
+		row := od[ch*n : (ch+1)*n]
+		for i := range row {
+			row[i] = v
+		}
+	}
+	return out
+}
+
+// Params returns nil; pooling has no parameters.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// GlobalMaxPool reduces a C×H×W tensor to a length-C vector by taking the
+// maximum of each channel plane.
+type GlobalMaxPool struct {
+	lastH, lastW int
+	argmax       []int
+}
+
+// NewGlobalMaxPool returns a global max pooling layer.
+func NewGlobalMaxPool() *GlobalMaxPool { return &GlobalMaxPool{} }
+
+// Forward takes the per-channel maximum and records argmax positions.
+func (g *GlobalMaxPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+	mustDims(x, 3, "GlobalMaxPool")
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	g.lastH, g.lastW = h, w
+	if cap(g.argmax) < c {
+		g.argmax = make([]int, c)
+	}
+	g.argmax = g.argmax[:c]
+	out := tensor.New(c)
+	xd, od := x.Data(), out.Data()
+	n := h * w
+	for ch := 0; ch < c; ch++ {
+		plane := xd[ch*n : (ch+1)*n]
+		best, bestI := plane[0], 0
+		for i, v := range plane {
+			if v > best {
+				best, bestI = v, i
+			}
+		}
+		od[ch] = best
+		g.argmax[ch] = bestI
+	}
+	return out
+}
+
+// Backward routes each channel gradient to its argmax position.
+func (g *GlobalMaxPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	c := dy.Dim(0)
+	n := g.lastH * g.lastW
+	out := tensor.New(c, g.lastH, g.lastW)
+	od, dyd := out.Data(), dy.Data()
+	for ch := 0; ch < c; ch++ {
+		od[ch*n+g.argmax[ch]] = dyd[ch]
+	}
+	return out
+}
+
+// Params returns nil; pooling has no parameters.
+func (g *GlobalMaxPool) Params() []*Param { return nil }

@@ -1,0 +1,208 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	im := New(4, 3)
+	if im.W != 4 || im.H != 3 || len(im.Pix) != 12 {
+		t.Fatalf("bad image %dx%d len %d", im.W, im.H, len(im.Pix))
+	}
+	im.Set(2, 1, 0.5)
+	if im.At(2, 1) != 0.5 {
+		t.Fatal("Set/At round trip failed")
+	}
+	if im.At(-1, 0) != 0 || im.At(4, 0) != 0 || im.At(0, 3) != 0 {
+		t.Fatal("out-of-bounds reads must be 0")
+	}
+	im.Set(-1, -1, 9) // must not panic
+}
+
+func TestShortestLongest(t *testing.T) {
+	im := New(600, 1067)
+	if im.Shortest() != 600 || im.Longest() != 1067 {
+		t.Fatalf("Shortest/Longest = %d/%d", im.Shortest(), im.Longest())
+	}
+}
+
+func TestResizeBilinearConstantStaysConstant(t *testing.T) {
+	im := New(10, 7)
+	im.Fill(0.37)
+	out := im.ResizeBilinear(23, 5)
+	for _, v := range out.Pix {
+		if math.Abs(float64(v)-0.37) > 1e-6 {
+			t.Fatalf("constant image changed after resize: %v", v)
+		}
+	}
+}
+
+func TestResizeBilinearIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	im := New(8, 6)
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float32()
+	}
+	out := im.ResizeBilinear(8, 6)
+	for i := range im.Pix {
+		if math.Abs(float64(im.Pix[i]-out.Pix[i])) > 1e-6 {
+			t.Fatal("identity resize must preserve pixels")
+		}
+	}
+}
+
+// Property: bilinear resize never exceeds the input value range.
+func TestResizeBilinearRangePreserving(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		im := New(3+rng.Intn(20), 3+rng.Intn(20))
+		lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+		for i := range im.Pix {
+			im.Pix[i] = rng.Float32()
+			if im.Pix[i] < lo {
+				lo = im.Pix[i]
+			}
+			if im.Pix[i] > hi {
+				hi = im.Pix[i]
+			}
+		}
+		out := im.ResizeBilinear(1+rng.Intn(30), 1+rng.Intn(30))
+		for _, v := range out.Pix {
+			if v < lo-1e-5 || v > hi+1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleFactorProtocol(t *testing.T) {
+	// 720p frame scaled to shortest 600: factor 600/720, long side 1067 < 2000.
+	f := ScaleFactor(1280, 720, 600, 2000)
+	if math.Abs(f-600.0/720.0) > 1e-12 {
+		t.Fatalf("factor = %v", f)
+	}
+	// Extreme aspect ratio triggers the longest-side cap.
+	f = ScaleFactor(6000, 100, 600, 2000)
+	if math.Abs(f-2000.0/6000.0) > 1e-12 {
+		t.Fatalf("capped factor = %v", f)
+	}
+	if ScaleFactor(0, 10, 600, 2000) != 1 {
+		t.Fatal("degenerate size must return 1")
+	}
+}
+
+func TestResizeToScale(t *testing.T) {
+	im := New(1280, 720)
+	out := im.ResizeToScale(600, 2000)
+	if out.Shortest() != 600 {
+		t.Fatalf("shortest side = %d, want 600", out.Shortest())
+	}
+	if out.Longest() != 1067 {
+		t.Fatalf("longest side = %d, want 1067", out.Longest())
+	}
+	small := im.ResizeToScale(240, 2000)
+	if small.Shortest() != 240 {
+		t.Fatalf("shortest side = %d, want 240", small.Shortest())
+	}
+}
+
+func TestBoxBlurPreservesMeanAndSmooths(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	im := New(32, 32)
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float32()
+	}
+	blurred := im.BoxBlur(2)
+	if math.Abs(im.Mean()-blurred.Mean()) > 0.02 {
+		t.Fatalf("blur shifted mean: %v vs %v", im.Mean(), blurred.Mean())
+	}
+	varOf := func(p *Image) float64 {
+		m := p.Mean()
+		var s float64
+		for _, v := range p.Pix {
+			s += (float64(v) - m) * (float64(v) - m)
+		}
+		return s / float64(len(p.Pix))
+	}
+	if varOf(blurred) >= varOf(im) {
+		t.Fatal("blur must reduce variance of a noise image")
+	}
+	same := im.BoxBlur(0)
+	for i := range im.Pix {
+		if same.Pix[i] != im.Pix[i] {
+			t.Fatal("radius 0 must be identity")
+		}
+	}
+}
+
+func TestClampAndNoise(t *testing.T) {
+	im := New(4, 4)
+	im.Fill(0.5)
+	im.AddNoise(rand.New(rand.NewSource(3)), 10)
+	im.Clamp()
+	for _, v := range im.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("clamp failed: %v", v)
+		}
+	}
+}
+
+func TestDrawEllipseInside(t *testing.T) {
+	im := New(40, 40)
+	im.DrawEllipse(10, 10, 30, 30, TextureSolid, 0.9, 8)
+	if im.At(20, 20) != 0.9 {
+		t.Fatal("ellipse centre not drawn")
+	}
+	if im.At(11, 11) != 0 {
+		t.Fatal("ellipse corner should remain background")
+	}
+	if im.At(5, 20) != 0 {
+		t.Fatal("outside box must be untouched")
+	}
+}
+
+func TestDrawRectTexturesDiffer(t *testing.T) {
+	variance := func(tex Texture) float64 {
+		im := New(32, 32)
+		im.DrawRect(0, 0, 32, 32, tex, 0.9, 4)
+		m := im.Mean()
+		var s float64
+		for _, v := range im.Pix {
+			s += (float64(v) - m) * (float64(v) - m)
+		}
+		return s / float64(len(im.Pix))
+	}
+	if variance(TextureSolid) != 0 {
+		t.Fatal("solid texture must have zero variance")
+	}
+	if variance(TextureChecker) <= variance(TextureGradient) {
+		t.Fatal("checker should be higher-frequency than gradient")
+	}
+}
+
+func TestTextureComplexityOrdering(t *testing.T) {
+	order := []Texture{TextureSolid, TextureGradient, TextureStripes, TextureChecker, TextureDots}
+	for i := 1; i < len(order); i++ {
+		if order[i].Complexity() <= order[i-1].Complexity() {
+			t.Fatalf("complexity not increasing at %v", order[i])
+		}
+	}
+	for _, tex := range order {
+		if tex.String() == "unknown" {
+			t.Fatalf("missing name for %d", tex)
+		}
+	}
+}
+
+func TestDrawDegenerateBoxesNoPanic(t *testing.T) {
+	im := New(10, 10)
+	im.DrawEllipse(5, 5, 5, 5, TextureDots, 1, 2)
+	im.DrawRect(3, 3, 3, 9, TextureStripes, 1, 2)
+}

@@ -1,0 +1,159 @@
+// Package regressor implements the AdaScale scale-regressor module
+// (Sec. 3.2, Fig. 4 of the paper) — the paper's core contribution — and
+// trains it for real with SGD on labels produced by the optimal-scale
+// metric.
+//
+// Architecture (Fig. 4): parallel convolution branches over the detector's
+// deep features — a 1×1 branch capturing per-position size information and
+// a 3×3 branch capturing local patch complexity (the kernel set is
+// configurable for the Table 3 ablation) — each followed by a ReLU and
+// global average pooling ("a voting process"), concatenated and fed to a
+// fully-connected layer that regresses a single scalar.
+//
+// The regressed value is not the optimal scale itself but the normalised
+// relative scale t of Eq. 3, in [-1, 1]: "what matters is the content
+// instead of the image size itself", so the module learns to react —
+// up-sample, down-sample or stay — to the current content.
+package regressor
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"adascale/internal/nn"
+	"adascale/internal/rfcn"
+	"adascale/internal/tensor"
+)
+
+// Scale-set constants from the paper.
+var (
+	// SReg is the label-generation scale set; 128 is included because it
+	// is the smallest RPN anchor, "to push the image to an as small as
+	// possible scale for the largest potential speed improvement".
+	SReg = []int{600, 480, 360, 240, 128}
+
+	// DefaultKernels is the paper's chosen branch kernel set (Table 3's
+	// speed/accuracy sweet spot).
+	DefaultKernels = []int{1, 3}
+)
+
+// Scale bounds of Eq. 3.
+const (
+	MinScale = 128
+	MaxScale = 600
+)
+
+// branchChannels is the output depth of each convolution branch.
+const branchChannels = 8
+
+// EncodeTarget computes Eq. 3: the normalised relative scale target
+// t(m, m_opt) in [-1, 1] for an image currently at scale m whose optimal
+// scale is mOpt.
+func EncodeTarget(m, mOpt int) float64 {
+	rMin := float64(MinScale) / float64(MaxScale)
+	rMax := float64(MaxScale) / float64(MinScale)
+	return 2*(float64(mOpt)/float64(m)-rMin)/(rMax-rMin) - 1
+}
+
+// DecodeScale inverts Eq. 3 (Algorithm 1's decode step): given the
+// regressed t and the current image's base size (shortest side), it
+// recovers the target scale in floating point, rounds it to an integer and
+// clips it to [MinScale, MaxScale].
+func DecodeScale(t float64, baseSize int) int {
+	rMin := float64(MinScale) / float64(MaxScale)
+	rMax := float64(MaxScale) / float64(MinScale)
+	ratio := (t+1)/2*(rMax-rMin) + rMin
+	s := int(math.Round(ratio * float64(baseSize)))
+	if s < MinScale {
+		s = MinScale
+	}
+	if s > MaxScale {
+		s = MaxScale
+	}
+	return s
+}
+
+// Regressor is the trainable scale-regression module.
+type Regressor struct {
+	Kernels []int
+
+	branches []*nn.Conv2D
+	relus    []*nn.ReLU
+	pools    []*nn.GlobalAvgPool
+	fc       *nn.Dense
+
+	lastPooled []*tensor.Tensor
+}
+
+// New creates a regressor over rfcn.FeatureChannels-deep features with one
+// convolution branch per kernel size.
+func New(rng *rand.Rand, kernels []int) *Regressor {
+	if len(kernels) == 0 {
+		kernels = DefaultKernels
+	}
+	r := &Regressor{Kernels: append([]int(nil), kernels...)}
+	for _, k := range kernels {
+		conv := nn.NewConv2D(rng, rfcn.FeatureChannels, branchChannels, k, 1, -1)
+		// Slightly positive biases keep the ReLU branches alive through the
+		// first noisy SGD steps (global average pooling makes a fully-dead
+		// branch unrecoverable).
+		conv.Bias.W.Fill(0.1)
+		r.branches = append(r.branches, conv)
+		r.relus = append(r.relus, nn.NewReLU())
+		r.pools = append(r.pools, nn.NewGlobalAvgPool())
+	}
+	r.fc = nn.NewDense(rng, branchChannels*len(kernels), 1)
+	return r
+}
+
+// Forward regresses t from a deep feature map (C×H×W, any spatial size —
+// global pooling absorbs the scale-dependent resolution).
+func (r *Regressor) Forward(features *tensor.Tensor) float64 {
+	concat := tensor.New(branchChannels * len(r.branches))
+	r.lastPooled = r.lastPooled[:0]
+	for i := range r.branches {
+		v := r.pools[i].Forward(r.relus[i].Forward(r.branches[i].Forward(features)))
+		copy(concat.Data()[i*branchChannels:], v.Data())
+		r.lastPooled = append(r.lastPooled, v)
+	}
+	out := r.fc.Forward(concat)
+	return float64(out.At(0))
+}
+
+// Backward propagates the scalar loss gradient dt through the module,
+// accumulating parameter gradients. Must follow Forward.
+func (r *Regressor) Backward(dt float64) {
+	if len(r.lastPooled) == 0 {
+		panic("regressor: Backward called before Forward")
+	}
+	dconcat := r.fc.Backward(tensor.FromSlice([]float32{float32(dt)}, 1))
+	for i := range r.branches {
+		dv := tensor.FromSlice(
+			append([]float32(nil), dconcat.Data()[i*branchChannels:(i+1)*branchChannels]...),
+			branchChannels)
+		r.branches[i].Backward(r.relus[i].Backward(r.pools[i].Backward(dv)))
+	}
+}
+
+// Params returns all trainable parameters.
+func (r *Regressor) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, b := range r.branches {
+		ps = append(ps, b.Params()...)
+	}
+	return append(ps, r.fc.Params()...)
+}
+
+// Save serialises the regressor weights.
+func (r *Regressor) Save(w io.Writer) error { return nn.SaveParams(w, r.Params()) }
+
+// Load restores weights saved by Save into a regressor of identical
+// architecture.
+func (r *Regressor) Load(rd io.Reader) error { return nn.LoadParams(rd, r.Params()) }
+
+// String describes the architecture.
+func (r *Regressor) String() string {
+	return fmt.Sprintf("Regressor(kernels=%v, params=%d)", r.Kernels, nn.CountParams(r.Params()))
+}

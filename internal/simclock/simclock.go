@@ -1,0 +1,75 @@
+// Package simclock models inference runtime. The paper reports wall-clock
+// on a GTX 1080 Ti (R-FCN: 75 ms at scale 600 on ImageNet VID; scale
+// regressor: 2 ms, "3% of the runtime of R-FCN"). Our substrate is a CPU
+// simulator, so absolute wall-clock is meaningless for comparison; instead
+// this cost model converts the *scale decisions* an algorithm makes — the
+// real output of AdaScale — into milliseconds on the paper's reference
+// hardware. Detector cost is an affine function of the number of input
+// pixels, which is how convolutional backbone FLOPs scale.
+package simclock
+
+import "adascale/internal/raster"
+
+// Reference calibration points from the paper.
+const (
+	// DetectorBaseMS is the fixed per-image overhead (RPN/head bookkeeping,
+	// NMS, memory traffic) independent of resolution.
+	DetectorBaseMS = 8.0
+
+	// detectorAt600MS is the paper's measured R-FCN runtime at scale 600.
+	detectorAt600MS = 75.0
+
+	// RegressorKernel overheads measured by the paper's Table 3 trend: the
+	// {1,3} module costs 2 ms; {1} is cheaper, {1,3,5} costs more.
+	Regressor1MS   = 1.0
+	Regressor13MS  = 2.0
+	Regressor135MS = 3.8
+
+	// FlowMS is the cost of optical-flow estimation plus feature warping in
+	// Deep Feature Flow. DFF's FlowNet runs roughly an order of magnitude
+	// faster than the detection network.
+	FlowMS = 9.5
+
+	// SeqNMSPerFrameMS is the amortised per-frame cost of Seq-NMS linkage
+	// and rescoring (CPU post-processing overlapped with GPU inference).
+	SeqNMSPerFrameMS = 1.5
+)
+
+// refPixels is the pixel count of a 16:9 frame resized to scale 600 with
+// the 2000-px longest-side cap (600 × 1067).
+var refPixels = pixelsAtScale(1280, 720, 600, 2000)
+
+func pixelsAtScale(w, h, scale, maxLong int) float64 {
+	f := raster.ScaleFactor(w, h, scale, maxLong)
+	return float64(w) * f * float64(h) * f
+}
+
+// DetectMS returns the modelled detector runtime in milliseconds for a
+// native w×h frame tested at the given shortest-side scale.
+func DetectMS(w, h, scale int) float64 {
+	px := pixelsAtScale(w, h, scale, 2000)
+	return DetectorBaseMS + (detectorAt600MS-DetectorBaseMS)*px/refPixels
+}
+
+// RegressorMS returns the scale-regressor overhead for the given kernel
+// set (e.g. []int{1,3}; the paper's default).
+func RegressorMS(kernels []int) float64 {
+	switch len(kernels) {
+	case 0:
+		return 0
+	case 1:
+		return Regressor1MS
+	case 2:
+		return Regressor13MS
+	default:
+		return Regressor135MS
+	}
+}
+
+// FPS converts an average per-frame time in milliseconds to frames/second.
+func FPS(avgMS float64) float64 {
+	if avgMS <= 0 {
+		return 0
+	}
+	return 1000 / avgMS
+}

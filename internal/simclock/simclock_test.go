@@ -1,0 +1,65 @@
+package simclock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetectMSCalibration(t *testing.T) {
+	// The paper's reference point: R-FCN at scale 600 runs in 75 ms.
+	if got := DetectMS(1280, 720, 600); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("DetectMS(600) = %v, want 75", got)
+	}
+}
+
+func TestDetectMSMonotoneInScale(t *testing.T) {
+	f := func(seed int64) bool {
+		a := 128 + int(uint64(seed)%400)
+		b := a + 1 + int(uint64(seed)>>32%50)
+		return DetectMS(1280, 720, a) < DetectMS(1280, 720, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectMSFloorsAtBase(t *testing.T) {
+	if got := DetectMS(1280, 720, 1); got < DetectorBaseMS {
+		t.Fatalf("runtime %v below fixed overhead", got)
+	}
+}
+
+func TestDetectMSLongSideCap(t *testing.T) {
+	// An extreme panorama hits the 2000-px cap, so raising the requested
+	// scale beyond the cap point must not increase cost.
+	capped := DetectMS(8000, 500, 480)
+	more := DetectMS(8000, 500, 500)
+	if more > capped+1e-9 {
+		t.Fatalf("cost grew past the longest-side cap: %v → %v", capped, more)
+	}
+}
+
+func TestRegressorMS(t *testing.T) {
+	if RegressorMS(nil) != 0 {
+		t.Fatal("no regressor, no overhead")
+	}
+	k1 := RegressorMS([]int{1})
+	k13 := RegressorMS([]int{1, 3})
+	k135 := RegressorMS([]int{1, 3, 5})
+	if !(k1 < k13 && k13 < k135) {
+		t.Fatalf("kernel overheads not increasing: %v %v %v", k1, k13, k135)
+	}
+	if k13 != 2.0 {
+		t.Fatalf("paper's {1,3} module costs 2 ms, got %v", k13)
+	}
+}
+
+func TestFPS(t *testing.T) {
+	if got := FPS(75); math.Abs(got-13.333333333333334) > 1e-9 {
+		t.Fatalf("FPS(75) = %v, want ≈ 13.3 (paper's R-FCN)", got)
+	}
+	if FPS(0) != 0 {
+		t.Fatal("FPS(0) must be 0, not Inf")
+	}
+}

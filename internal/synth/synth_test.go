@@ -1,0 +1,259 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"adascale/internal/detect"
+)
+
+func tinyConfig(seed int64) Config {
+	cfg := VIDLike(seed)
+	cfg.FramesPerSnippet = 5
+	return cfg
+}
+
+func TestGenerateCounts(t *testing.T) {
+	ds, err := Generate(tinyConfig(1), 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 7 || len(ds.Val) != 4 {
+		t.Fatalf("got %d/%d snippets", len(ds.Train), len(ds.Val))
+	}
+	for _, sn := range append(append([]Snippet{}, ds.Train...), ds.Val...) {
+		if len(sn.Frames) != 5 {
+			t.Fatalf("snippet %d has %d frames", sn.ID, len(sn.Frames))
+		}
+		for _, fr := range sn.Frames {
+			if len(fr.Objects) == 0 || len(fr.Objects) > ds.Config.MaxObjects {
+				t.Fatalf("frame has %d objects", len(fr.Objects))
+			}
+			if fr.W != 1280 || fr.H != 720 {
+				t.Fatalf("frame size %dx%d", fr.W, fr.H)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(tinyConfig(42), 3, 2)
+	b, _ := Generate(tinyConfig(42), 3, 2)
+	for i := range a.Train {
+		for j := range a.Train[i].Frames {
+			fa, fb := a.Train[i].Frames[j], b.Train[i].Frames[j]
+			if fa.Seed() != fb.Seed() || fa.Clutter != fb.Clutter {
+				t.Fatal("generation not deterministic")
+			}
+			for k := range fa.Objects {
+				if fa.Objects[k].Box != fb.Objects[k].Box {
+					t.Fatal("object boxes not deterministic")
+				}
+			}
+		}
+	}
+	c, _ := Generate(tinyConfig(43), 3, 2)
+	if c.Train[0].Frames[0].Seed() == a.Train[0].Frames[0].Seed() {
+		t.Fatal("different dataset seeds must differ")
+	}
+}
+
+func TestTemporalConsistency(t *testing.T) {
+	// Consecutive frames must have the same tracked objects with high box
+	// overlap — the assumption AdaScale's frame-to-frame scale transfer
+	// rests on (Sec. 3.2).
+	ds, _ := Generate(tinyConfig(7), 10, 0)
+	for _, sn := range ds.Train {
+		for j := 1; j < len(sn.Frames); j++ {
+			prev, cur := sn.Frames[j-1], sn.Frames[j]
+			prevByID := map[int]Object{}
+			for _, o := range prev.Objects {
+				prevByID[o.ID] = o
+			}
+			for _, o := range cur.Objects {
+				p, ok := prevByID[o.ID]
+				if !ok {
+					continue // track entered this frame (visibility window)
+				}
+				if iou := detect.IoU(p.Box, o.Box); iou < 0.5 {
+					t.Fatalf("consecutive-frame IoU %v too low for temporal consistency", iou)
+				}
+			}
+		}
+	}
+}
+
+func TestObjectsWithinFrame(t *testing.T) {
+	ds, _ := Generate(tinyConfig(9), 20, 0)
+	for _, fr := range Frames(ds.Train) {
+		for _, o := range fr.Objects {
+			cx, cy := o.Box.Center()
+			if cx < 0 || cx > float64(fr.W) || cy < 0 || cy > float64(fr.H) {
+				t.Fatalf("object centre (%v,%v) outside frame", cx, cy)
+			}
+			if o.Box.Shortest() < 0.03*720 || o.Box.Shortest() > 0.95*720 {
+				t.Fatalf("object shortest side %v outside sane range", o.Box.Shortest())
+			}
+		}
+	}
+}
+
+func TestPrimaryClassRoundRobin(t *testing.T) {
+	cfg := tinyConfig(3)
+	ds, _ := Generate(cfg, len(cfg.Classes), 0)
+	for i, sn := range ds.Train {
+		if got := sn.Frames[0].Objects[0].Class; got != i%len(cfg.Classes) {
+			t.Fatalf("snippet %d primary class %d, want %d", i, got, i%len(cfg.Classes))
+		}
+	}
+}
+
+func TestGroundTruthMatchesObjects(t *testing.T) {
+	ds, _ := Generate(tinyConfig(5), 1, 0)
+	fr := &ds.Train[0].Frames[0]
+	gts := fr.GroundTruth()
+	if len(gts) != len(fr.Objects) {
+		t.Fatal("ground truth count mismatch")
+	}
+	for i := range gts {
+		if gts[i].Box != fr.Objects[i].Box || gts[i].Class != fr.Objects[i].Class {
+			t.Fatal("ground truth content mismatch")
+		}
+	}
+}
+
+func TestRenderSizesFollowScaleProtocol(t *testing.T) {
+	ds, _ := Generate(tinyConfig(11), 1, 0)
+	fr := &ds.Train[0].Frames[0]
+	for _, scale := range []int{600, 480, 360, 240, 128} {
+		im := fr.Render(scale/ds.Config.RenderDiv, 2000, ds.Config.RenderDiv)
+		want := scale / ds.Config.RenderDiv
+		if im.Shortest() != want {
+			t.Fatalf("scale %d: rendered shortest %d, want %d", scale, im.Shortest(), want)
+		}
+		ratio := float64(im.Longest()) / float64(im.Shortest())
+		if math.Abs(ratio-1280.0/720.0) > 0.02 {
+			t.Fatalf("aspect ratio %v distorted", ratio)
+		}
+	}
+}
+
+func TestRenderDeterministicAndDistinct(t *testing.T) {
+	ds, _ := Generate(tinyConfig(13), 1, 0)
+	fr := &ds.Train[0].Frames[0]
+	a := fr.Render(90, 2000, 4)
+	b := fr.Render(90, 2000, 4)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("render not deterministic")
+		}
+	}
+	fr2 := &ds.Train[0].Frames[1]
+	c := fr2.Render(90, 2000, 4)
+	same := true
+	for i := range a.Pix {
+		if i < len(c.Pix) && a.Pix[i] != c.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different frames rendered identically")
+	}
+}
+
+func TestRenderPixelsInRange(t *testing.T) {
+	ds, _ := Generate(tinyConfig(17), 2, 0)
+	for _, fr := range Frames(ds.Train)[:4] {
+		im := fr.Render(60, 2000, 4)
+		for _, v := range im.Pix {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v out of range", v)
+			}
+		}
+		if im.Mean() < 0.05 || im.Mean() > 0.95 {
+			t.Fatalf("implausible mean brightness %v", im.Mean())
+		}
+	}
+}
+
+func TestObjectVisibleInRender(t *testing.T) {
+	// A bright large object must make its region differ from background.
+	cfg := tinyConfig(19)
+	cfg.MaxObjects = 1
+	ds, _ := Generate(cfg, 3, 0)
+	fr := &ds.Train[0].Frames[0]
+	im := fr.Render(150, 2000, 4)
+	factor := float64(150) / 720
+	o := fr.Objects[0]
+	cx, cy := o.Box.Center()
+	inVal := im.At(int(cx*factor), int(cy*factor))
+	corner := im.At(2, 2)
+	if math.Abs(float64(inVal-corner)) < 0.02 && math.Abs(float64(inVal)-float64(o.Intensity)) > 0.4 {
+		t.Fatalf("object region (%v) indistinguishable from background (%v)", inVal, corner)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := VIDLike(1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Classes = nil },
+		func(c *Config) { c.NativeW = 0 },
+		func(c *Config) { c.RenderDiv = 0 },
+		func(c *Config) { c.FramesPerSnippet = 0 },
+		func(c *Config) { c.MaxObjects = 0 },
+	}
+	for i, mutate := range cases {
+		c := VIDLike(1)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+		if _, err := Generate(c, 1, 1); err == nil {
+			t.Fatalf("case %d: Generate must reject invalid config", i)
+		}
+	}
+}
+
+func TestDatasetConfigsWellFormed(t *testing.T) {
+	if len(VIDClasses) != 30 {
+		t.Fatalf("VID has %d classes, want 30", len(VIDClasses))
+	}
+	if len(YTBBClasses) != 23 {
+		t.Fatalf("YTBB has %d classes, want 23", len(YTBBClasses))
+	}
+	for _, set := range [][]ClassProfile{VIDClasses, YTBBClasses} {
+		seen := map[string]bool{}
+		for _, c := range set {
+			if c.Name == "" || seen[c.Name] {
+				t.Fatalf("bad or duplicate class name %q", c.Name)
+			}
+			seen[c.Name] = true
+			if c.BaseQuality <= 0 || c.BaseQuality > 1 {
+				t.Fatalf("%s: BaseQuality %v out of range", c.Name, c.BaseQuality)
+			}
+			if c.SizeFrac <= 0 || c.SizeFrac > 0.95 {
+				t.Fatalf("%s: SizeFrac %v out of range", c.Name, c.SizeFrac)
+			}
+			if c.MSConfusion < 0 || c.MSConfusion > 0.2 {
+				t.Fatalf("%s: MSConfusion %v out of range", c.Name, c.MSConfusion)
+			}
+		}
+	}
+}
+
+func TestFramesFlattens(t *testing.T) {
+	ds, _ := Generate(tinyConfig(23), 3, 0)
+	frames := Frames(ds.Train)
+	if len(frames) != 15 {
+		t.Fatalf("Frames returned %d, want 15", len(frames))
+	}
+	// Mutating through the pointer must affect the dataset.
+	frames[0].Clutter = 0.123
+	if ds.Train[0].Frames[0].Clutter != 0.123 {
+		t.Fatal("Frames must return pointers into the dataset")
+	}
+}

@@ -1,0 +1,60 @@
+package synth
+
+import "adascale/internal/raster"
+
+// VIDClasses are the 30 ImageNet VID categories with simulator calibration
+// derived from the paper's Table 1a. BaseQuality tracks the SS/SS AP
+// column (AP/100). SizeFrac and Clutter are set so the categories the paper
+// reports as most improved by AdaScale (lion, squirrel, horse, sheep, cat —
+// filmed large and in cluttered scenes, so down-scaling removes distracting
+// detail and shrinks over-large objects into the detector's sweet spot)
+// favour lower scales, while near-neutral categories sit in the sweet spot
+// at 600 already. MSConfusion encodes the paper's observation that
+// multi-scale training hurts red panda and bear badly (Sec. 4.3).
+var VIDClasses = []ClassProfile{
+	{Name: "airplane", BaseQuality: 0.889, SizeFrac: 0.18, SizeSpread: 0.35, Texture: raster.TextureGradient, Clutter: 0.20, MSConfusion: 0.004},
+	{Name: "antelope", BaseQuality: 0.845, SizeFrac: 0.30, SizeSpread: 0.35, Texture: raster.TextureGradient, Clutter: 0.45},
+	{Name: "bear", BaseQuality: 0.860, SizeFrac: 0.22, SizeSpread: 0.35, Texture: raster.TextureSolid, Clutter: 0.30, MSConfusion: 0.070},
+	{Name: "bicycle", BaseQuality: 0.658, SizeFrac: 0.28, SizeSpread: 0.35, Texture: raster.TextureChecker, Clutter: 0.65},
+	{Name: "bird", BaseQuality: 0.722, SizeFrac: 0.27, SizeSpread: 0.40, Texture: raster.TextureDots, Clutter: 0.45},
+	{Name: "bus", BaseQuality: 0.761, SizeFrac: 0.18, SizeSpread: 0.30, Texture: raster.TextureGradient, Clutter: 0.40, MSConfusion: 0.010},
+	{Name: "car", BaseQuality: 0.583, SizeFrac: 0.15, SizeSpread: 0.40, Texture: raster.TextureGradient, Clutter: 0.70, MSConfusion: 0.010},
+	{Name: "cattle", BaseQuality: 0.710, SizeFrac: 0.30, SizeSpread: 0.35, Texture: raster.TextureSolid, Clutter: 0.45},
+	{Name: "dog", BaseQuality: 0.694, SizeFrac: 0.35, SizeSpread: 0.35, Texture: raster.TextureGradient, Clutter: 0.55},
+	{Name: "domestic cat", BaseQuality: 0.760, SizeFrac: 0.38, SizeSpread: 0.35, Texture: raster.TextureStripes, Clutter: 0.55},
+	{Name: "elephant", BaseQuality: 0.764, SizeFrac: 0.28, SizeSpread: 0.35, Texture: raster.TextureGradient, Clutter: 0.35},
+	{Name: "fox", BaseQuality: 0.872, SizeFrac: 0.28, SizeSpread: 0.35, Texture: raster.TextureGradient, Clutter: 0.35},
+	{Name: "giant panda", BaseQuality: 0.816, SizeFrac: 0.20, SizeSpread: 0.30, Texture: raster.TextureChecker, Clutter: 0.30, MSConfusion: 0.005},
+	{Name: "hamster", BaseQuality: 0.898, SizeFrac: 0.36, SizeSpread: 0.30, Texture: raster.TextureDots, Clutter: 0.40},
+	{Name: "horse", BaseQuality: 0.696, SizeFrac: 0.38, SizeSpread: 0.35, Texture: raster.TextureGradient, Clutter: 0.55},
+	{Name: "lion", BaseQuality: 0.519, SizeFrac: 0.42, SizeSpread: 0.35, Texture: raster.TextureSolid, Clutter: 0.75},
+	{Name: "lizard", BaseQuality: 0.791, SizeFrac: 0.17, SizeSpread: 0.35, Texture: raster.TextureDots, Clutter: 0.30, MSConfusion: 0.005},
+	{Name: "monkey", BaseQuality: 0.512, SizeFrac: 0.28, SizeSpread: 0.45, Texture: raster.TextureChecker, Clutter: 0.60},
+	{Name: "motorcycle", BaseQuality: 0.840, SizeFrac: 0.22, SizeSpread: 0.35, Texture: raster.TextureChecker, Clutter: 0.40},
+	{Name: "rabbit", BaseQuality: 0.634, SizeFrac: 0.22, SizeSpread: 0.40, Texture: raster.TextureSolid, Clutter: 0.45, MSConfusion: 0.010},
+	{Name: "red panda", BaseQuality: 0.768, SizeFrac: 0.20, SizeSpread: 0.35, Texture: raster.TextureStripes, Clutter: 0.35, MSConfusion: 0.110},
+	{Name: "sheep", BaseQuality: 0.563, SizeFrac: 0.38, SizeSpread: 0.35, Texture: raster.TextureSolid, Clutter: 0.65},
+	{Name: "snake", BaseQuality: 0.756, SizeFrac: 0.17, SizeSpread: 0.40, Texture: raster.TextureStripes, Clutter: 0.30, MSConfusion: 0.035},
+	{Name: "squirrel", BaseQuality: 0.539, SizeFrac: 0.40, SizeSpread: 0.35, Texture: raster.TextureDots, Clutter: 0.70},
+	{Name: "tiger", BaseQuality: 0.895, SizeFrac: 0.28, SizeSpread: 0.30, Texture: raster.TextureStripes, Clutter: 0.30},
+	{Name: "train", BaseQuality: 0.824, SizeFrac: 0.19, SizeSpread: 0.30, Texture: raster.TextureGradient, Clutter: 0.30, MSConfusion: 0.005},
+	{Name: "turtle", BaseQuality: 0.790, SizeFrac: 0.23, SizeSpread: 0.35, Texture: raster.TextureChecker, Clutter: 0.35},
+	{Name: "watercraft", BaseQuality: 0.651, SizeFrac: 0.28, SizeSpread: 0.40, Texture: raster.TextureGradient, Clutter: 0.50},
+	{Name: "whale", BaseQuality: 0.745, SizeFrac: 0.33, SizeSpread: 0.35, Texture: raster.TextureSolid, Clutter: 0.40},
+	{Name: "zebra", BaseQuality: 0.913, SizeFrac: 0.19, SizeSpread: 0.30, Texture: raster.TextureStripes, Clutter: 0.20, MSConfusion: 0.010},
+}
+
+// VIDLike returns a dataset config standing in for ImageNet VID: 30
+// classes, 1280×720 native frames.
+func VIDLike(seed int64) Config {
+	return Config{
+		Name:             "vid-like",
+		Classes:          VIDClasses,
+		NativeW:          1280,
+		NativeH:          720,
+		RenderDiv:        4,
+		FramesPerSnippet: 12,
+		MaxObjects:       3,
+		Seed:             seed,
+	}
+}

@@ -1,0 +1,113 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), returning a
+// new m×n tensor. The inner loop is ordered i-k-j so B is traversed
+// row-major, which keeps the kernel cache-friendly without external BLAS.
+func MatMul(a, b *Tensor) *Tensor {
+	c := New(a.Dim(0), b.Dim(1))
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes dst = A·B, reusing dst's storage. dst must be m×n and
+// is overwritten. It panics on shape mismatch.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D tensors, got %v · %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v · %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	ad, bd, cd := a.data, b.data, dst.data
+	for i := range cd {
+		cd[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATB computes C = Aᵀ·B for A (k×m) and B (k×n), returning m×n.
+// Used in backward passes to avoid materialising explicit transposes.
+func MatMulATB(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulATB requires 2-D tensors")
+	}
+	k, m := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	for p := 0; p < k; p++ {
+		arow := ad[p*m : (p+1)*m]
+		brow := bd[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := cd[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulABT computes C = A·Bᵀ for A (m×k) and B (n×k), returning m×n.
+func MatMulABT(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulABT requires 2-D tensors")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	n, k2 := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// Transpose2D returns the transpose of a 2-D tensor as a new tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic("tensor: Transpose2D requires a 2-D tensor")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	c := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			c.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return c
+}

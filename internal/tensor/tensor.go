@@ -1,0 +1,276 @@
+// Package tensor provides dense float32 tensors and the numeric kernels
+// (elementwise ops, matrix multiplication, im2col) used by the neural
+// network framework in internal/nn. Tensors are row-major with an explicit
+// shape; all operations are deterministic and allocation behaviour is
+// documented per function so hot paths can reuse buffers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float32 array with an explicit shape.
+// The zero value is an empty tensor; use New or FromSlice to construct
+// useful instances.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); len(data) must equal the shape's element count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified by the caller.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape covering the same data.
+// The element counts must match. The view shares storage with t.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// offset computes the flat index for the given multi-dimensional index.
+func (t *Tensor) offset(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v has wrong arity for shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx...)] }
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx...)] = v }
+
+// Zero sets every element to 0 in place.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != u.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) mustSameShape(u *Tensor, op string) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, u.shape))
+	}
+}
+
+// AddInPlace adds u to t elementwise.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	t.mustSameShape(u, "AddInPlace")
+	for i, v := range u.data {
+		t.data[i] += v
+	}
+}
+
+// SubInPlace subtracts u from t elementwise.
+func (t *Tensor) SubInPlace(u *Tensor) {
+	t.mustSameShape(u, "SubInPlace")
+	for i, v := range u.data {
+		t.data[i] -= v
+	}
+}
+
+// MulInPlace multiplies t by u elementwise (Hadamard product).
+func (t *Tensor) MulInPlace(u *Tensor) {
+	t.mustSameShape(u, "MulInPlace")
+	for i, v := range u.data {
+		t.data[i] *= v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScaledInPlace computes t += s*u elementwise (axpy).
+func (t *Tensor) AddScaledInPlace(s float32, u *Tensor) {
+	t.mustSameShape(u, "AddScaledInPlace")
+	for i, v := range u.data {
+		t.data[i] += s * v
+	}
+}
+
+// Add returns t+u as a new tensor.
+func Add(t, u *Tensor) *Tensor {
+	c := t.Clone()
+	c.AddInPlace(u)
+	return c
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for
+// stability).
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements; 0 for empty tensors.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// MaxAbs returns the largest absolute element value; 0 for empty tensors.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// RandNormal fills t with samples from N(mean, std²) drawn from rng.
+func (t *Tensor) RandNormal(rng *rand.Rand, mean, std float64) {
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64()*std + mean)
+	}
+}
+
+// RandUniform fills t with samples uniform in [lo, hi).
+func (t *Tensor) RandUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.data {
+		t.data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}
+
+// HeInit fills t with He-normal initialisation for a layer with the given
+// fan-in, the standard choice before ReLU nonlinearities.
+func (t *Tensor) HeInit(rng *rand.Rand, fanIn int) {
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	t.RandNormal(rng, 0, math.Sqrt(2.0/float64(fanIn)))
+}
+
+// XavierInit fills t with Xavier-uniform initialisation.
+func (t *Tensor) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	if fanOut < 1 {
+		fanOut = 1
+	}
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	t.RandUniform(rng, -limit, limit)
+}
+
+// String renders a compact description, useful in test failures.
+func (t *Tensor) String() string {
+	if t.Size() <= 16 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.data)
+	}
+	return fmt.Sprintf("Tensor%v[%d elements]", t.shape, t.Size())
+}

@@ -1,0 +1,377 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewShapeAndSize(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", x.Size())
+	}
+	if x.Dims() != 3 || x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("bad shape %v", x.Shape())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3)
+	x.Set(7.5, 1, 2)
+	if x.At(1, 2) != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", x.At(1, 2))
+	}
+	if x.Data()[1*3+2] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	_ = x.At(2, 0)
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Set(99, 0, 1)
+	if x.At(0, 1) != 99 {
+		t.Fatal("Reshape must share storage")
+	}
+}
+
+func TestReshapeBadCountPanics(t *testing.T) {
+	x := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Set(5, 0)
+	if x.At(0) != 1 {
+		t.Fatal("Clone must copy storage")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	c := Add(a, b)
+	want := []float32{5, 7, 9}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("Add[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	a.MulInPlace(b)
+	if a.At(2) != 18 {
+		t.Fatalf("MulInPlace got %v", a.At(2))
+	}
+	a.ScaleInPlace(0.5)
+	if a.At(0) != 2 {
+		t.Fatalf("ScaleInPlace got %v", a.At(0))
+	}
+	a.SubInPlace(b)
+	if a.At(0) != -2 {
+		t.Fatalf("SubInPlace got %v", a.At(0))
+	}
+	a.AddScaledInPlace(2, b)
+	if a.At(0) != 6 {
+		t.Fatalf("AddScaledInPlace got %v", a.At(0))
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a, b := New(2), New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	a.AddInPlace(b)
+}
+
+func TestSumMeanNorms(t *testing.T) {
+	x := FromSlice([]float32{-3, 4}, 2)
+	if x.Sum() != 1 {
+		t.Fatalf("Sum = %v", x.Sum())
+	}
+	if x.Mean() != 0.5 {
+		t.Fatalf("Mean = %v", x.Mean())
+	}
+	if x.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v", x.MaxAbs())
+	}
+	if !almostEqual(x.L2Norm(), 5, 1e-9) {
+		t.Fatalf("L2Norm = %v", x.L2Norm())
+	}
+	empty := New(0)
+	if empty.Mean() != 0 || empty.MaxAbs() != 0 {
+		t.Fatal("empty tensor stats must be 0")
+	}
+}
+
+// naiveMatMul is an index-by-index reference implementation.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			c.Set(s, i, j)
+		}
+	}
+	return c
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	t.RandNormal(rng, 0, 1)
+	return t
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+		got, want := MatMul(a, b), naiveMatMul(a, b)
+		for i := range got.Data() {
+			if !almostEqual(float64(got.Data()[i]), float64(want.Data()[i]), 1e-4) {
+				t.Fatalf("trial %d: MatMul mismatch at %d: %v vs %v", trial, i, got.Data()[i], want.Data()[i])
+			}
+		}
+	}
+}
+
+func TestMatMulATBAndABT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b := randTensor(rng, k, m), randTensor(rng, k, n)
+		got := MatMulATB(a, b)
+		want := naiveMatMul(Transpose2D(a), b)
+		for i := range got.Data() {
+			if !almostEqual(float64(got.Data()[i]), float64(want.Data()[i]), 1e-4) {
+				t.Fatalf("MatMulATB mismatch")
+			}
+		}
+		c, d := randTensor(rng, m, k), randTensor(rng, n, k)
+		got2 := MatMulABT(c, d)
+		want2 := naiveMatMul(c, Transpose2D(d))
+		for i := range got2.Data() {
+			if !almostEqual(float64(got2.Data()[i]), float64(want2.Data()[i]), 1e-4) {
+				t.Fatalf("MatMulABT mismatch")
+			}
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randTensor(rng, 4, 7)
+	b := Transpose2D(Transpose2D(a))
+	if !a.SameShape(b) {
+		t.Fatal("shape changed")
+	}
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("transpose not an involution")
+		}
+	}
+}
+
+// Property: matrix multiplication distributes over addition:
+// A·(B+C) == A·B + A·C.
+func TestMatMulDistributesOverAddition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := randTensor(rng, m, k)
+		b, c := randTensor(rng, k, n), randTensor(rng, k, n)
+		lhs := MatMul(a, Add(b, c))
+		rhs := Add(MatMul(a, b), MatMul(a, c))
+		for i := range lhs.Data() {
+			if !almostEqual(float64(lhs.Data()[i]), float64(rhs.Data()[i]), 1e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvOutSize(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{5, 3, 1, 1, 5},
+		{5, 3, 1, 0, 3},
+		{7, 3, 2, 1, 4},
+		{1, 1, 1, 0, 1},
+		{8, 5, 2, 2, 4},
+	}
+	for _, c := range cases {
+		if got := ConvOutSize(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("ConvOutSize(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// naiveConv performs a direct convolution used to validate Im2Col+MatMul.
+func naiveConv(x, w *Tensor, kernel, stride, pad int) *Tensor {
+	cIn, h, wd := x.Dim(0), x.Dim(1), x.Dim(2)
+	cOut := w.Dim(0)
+	ho, wo := ConvOutSize(h, kernel, stride, pad), ConvOutSize(wd, kernel, stride, pad)
+	out := New(cOut, ho, wo)
+	for co := 0; co < cOut; co++ {
+		for oy := 0; oy < ho; oy++ {
+			for ox := 0; ox < wo; ox++ {
+				var s float32
+				for ci := 0; ci < cIn; ci++ {
+					for ky := 0; ky < kernel; ky++ {
+						for kx := 0; kx < kernel; kx++ {
+							iy, ix := oy*stride-pad+ky, ox*stride-pad+kx
+							if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+								continue
+							}
+							s += x.At(ci, iy, ix) * w.At(co, ci, ky, kx)
+						}
+					}
+				}
+				out.Set(s, co, oy, ox)
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesNaiveConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		cIn, cOut := 1+rng.Intn(3), 1+rng.Intn(3)
+		kernel := []int{1, 3, 5}[rng.Intn(3)]
+		h, w := kernel+rng.Intn(5), kernel+rng.Intn(5)
+		stride, pad := 1+rng.Intn(2), kernel/2
+		x := randTensor(rng, cIn, h, w)
+		wt := randTensor(rng, cOut, cIn, kernel, kernel)
+		cols := Im2Col(x, kernel, stride, pad)
+		wm := wt.Reshape(cOut, cIn*kernel*kernel)
+		got := MatMul(wm, cols)
+		want := naiveConv(x, wt, kernel, stride, pad)
+		if got.Size() != want.Size() {
+			t.Fatalf("size mismatch %d vs %d", got.Size(), want.Size())
+		}
+		for i := range got.Data() {
+			if !almostEqual(float64(got.Data()[i]), float64(want.Data()[i]), 1e-3) {
+				t.Fatalf("trial %d: conv mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col, i.e. <Im2Col(x), y> == <x, Col2Im(y)>.
+func TestCol2ImAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		c := 1 + rng.Intn(3)
+		kernel := []int{1, 3}[rng.Intn(2)]
+		h, w := kernel+rng.Intn(4), kernel+rng.Intn(4)
+		stride, pad := 1+rng.Intn(2), kernel/2
+		x := randTensor(rng, c, h, w)
+		cols := Im2Col(x, kernel, stride, pad)
+		y := randTensor(rng, cols.Dim(0), cols.Dim(1))
+		back := Col2Im(y, c, h, w, kernel, stride, pad)
+
+		var lhs, rhs float64
+		for i := range cols.Data() {
+			lhs += float64(cols.Data()[i]) * float64(y.Data()[i])
+		}
+		for i := range x.Data() {
+			rhs += float64(x.Data()[i]) * float64(back.Data()[i])
+		}
+		if !almostEqual(lhs, rhs, 1e-2*(1+math.Abs(lhs))) {
+			t.Fatalf("trial %d: adjoint identity violated: %v vs %v", trial, lhs, rhs)
+		}
+	}
+}
+
+func TestInitialisers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := New(10000)
+	x.HeInit(rng, 50)
+	std := math.Sqrt(2.0 / 50.0)
+	var s float64
+	for _, v := range x.Data() {
+		s += float64(v) * float64(v)
+	}
+	got := math.Sqrt(s / float64(x.Size()))
+	if !almostEqual(got, std, std*0.1) {
+		t.Fatalf("He std = %v, want ≈ %v", got, std)
+	}
+	y := New(10000)
+	y.XavierInit(rng, 30, 40)
+	limit := math.Sqrt(6.0 / 70.0)
+	for _, v := range y.Data() {
+		if float64(v) < -limit || float64(v) > limit {
+			t.Fatal("Xavier sample outside limits")
+		}
+	}
+	z := New(4)
+	z.Fill(3)
+	z.Zero()
+	if z.Sum() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
