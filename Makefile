@@ -1,0 +1,34 @@
+# Tier-1 gate: everything a commit must pass. `make check` is what CI and
+# reviewers run; scripts/check.sh is the same thing for environments
+# without make.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race run is the point of the gate: the dataset runner, label
+# generation and snippet synthesis fan out across the worker pool by
+# default, and -race proves the per-worker clones isolate the stateful
+# nn layers.
+race:
+	$(GO) test -race -timeout 60m ./...
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchmem .

@@ -19,11 +19,15 @@
 //	cfg := adascale.VIDLike(1)
 //	ds, _ := adascale.Generate(cfg, 60, 30)
 //	sys := adascale.Build(ds, adascale.DefaultBuildConfig())
-//	outs := adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
-//		return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-//	})
+//	adascale.SetWorkers(4) // optional: bound the worker pool (0 = GOMAXPROCS)
+//	outs := adascale.RunDataset(ds.Val, adascale.AdaScaleRunner(sys.Detector, sys.Regressor))
 //	res := adascale.Evaluate(adascale.ToEval(outs), len(cfg.Classes))
 //	fmt.Printf("mAP %.1f at %.0f ms/frame\n", res.MAP*100, adascale.MeanRuntimeMS(outs))
+//
+// RunDataset fans snippets across a worker pool; each worker runs an
+// independent runner built by the RunnerFactory (cloned detector and
+// regressor), and outputs are concatenated in snippet order, so results are
+// identical for any worker count.
 package adascale
 
 import (
@@ -33,6 +37,7 @@ import (
 	"adascale/internal/detect"
 	"adascale/internal/dff"
 	"adascale/internal/eval"
+	"adascale/internal/parallel"
 	"adascale/internal/raster"
 	"adascale/internal/regressor"
 	"adascale/internal/rfcn"
@@ -153,10 +158,69 @@ func RunMultiShot(det *Detector, sn *Snippet, scales []int) []FrameOutput {
 	return adascale.RunMultiShot(det, sn, scales)
 }
 
-// RunDataset applies a per-snippet runner across a split.
-func RunDataset(snippets []Snippet, run func(*Snippet) []FrameOutput) []FrameOutput {
-	return adascale.RunDataset(snippets, run)
+// Parallel execution.
+type (
+	// SnippetRunner runs one testing protocol over one snippet.
+	SnippetRunner = adascale.SnippetRunner
+	// RunnerFactory yields one independent SnippetRunner per worker.
+	RunnerFactory = adascale.RunnerFactory
+)
+
+// FixedRunner returns a per-worker factory for SS testing at scale.
+func FixedRunner(det *Detector, scale int) RunnerFactory {
+	return adascale.FixedRunner(det, scale)
 }
+
+// AdaScaleRunner returns a per-worker factory for Algorithm 1.
+func AdaScaleRunner(det *Detector, reg *Regressor) RunnerFactory {
+	return adascale.AdaScaleRunner(det, reg)
+}
+
+// MultiShotRunner returns a per-worker factory for MS/MS testing.
+func MultiShotRunner(det *Detector, scales []int) RunnerFactory {
+	return adascale.MultiShotRunner(det, scales)
+}
+
+// RandomRunner returns a per-worker factory for MS/Random testing with
+// deterministic per-snippet scale draws derived from seed.
+func RandomRunner(det *Detector, scales []int, seed int64) RunnerFactory {
+	return adascale.RandomRunner(det, scales, seed)
+}
+
+// SharedRunner adapts a goroutine-safe runner into a RunnerFactory without
+// cloning anything.
+func SharedRunner(run SnippetRunner) RunnerFactory { return adascale.SharedRunner(run) }
+
+// DFFRunner returns a per-worker factory for fixed-scale DFF.
+func DFFRunner(det *Detector, keyScale int, cfg DFFConfig) RunnerFactory {
+	return dff.Runner(det, keyScale, cfg)
+}
+
+// DFFAdaptiveRunner returns a per-worker factory for DFF + AdaScale.
+func DFFAdaptiveRunner(det *Detector, reg *Regressor, cfg DFFConfig) RunnerFactory {
+	return dff.AdaptiveRunner(det, reg, cfg)
+}
+
+// RunDataset fans the snippets of a split across the worker pool — one
+// runner per worker, built by factory — and concatenates the per-snippet
+// outputs in snippet order. The output stream is identical to
+// RunDatasetSerial for any worker count.
+func RunDataset(snippets []Snippet, factory RunnerFactory) []FrameOutput {
+	return adascale.RunDataset(snippets, factory)
+}
+
+// RunDatasetSerial applies a per-snippet runner across a split on the
+// calling goroutine.
+func RunDatasetSerial(snippets []Snippet, run SnippetRunner) []FrameOutput {
+	return adascale.RunDatasetSerial(snippets, run)
+}
+
+// SetWorkers bounds the worker pool used by RunDataset and the parallel
+// tensor kernels; n <= 0 restores the GOMAXPROCS default.
+func SetWorkers(n int) { parallel.SetWorkers(n) }
+
+// Workers reports the effective worker count.
+func Workers() int { return parallel.Workers() }
 
 // MeanRuntimeMS averages the modelled per-frame runtime.
 func MeanRuntimeMS(outputs []FrameOutput) float64 { return adascale.MeanRuntimeMS(outputs) }

@@ -21,11 +21,23 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("Build returned an incomplete system")
 	}
 
-	outs := adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
-		return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-	})
+	adascale.SetWorkers(3)
+	if got := adascale.Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	outs := adascale.RunDataset(ds.Val, adascale.AdaScaleRunner(sys.Detector, sys.Regressor))
+	adascale.SetWorkers(0)
 	if len(outs) != 3*4 {
 		t.Fatalf("outputs = %d", len(outs))
+	}
+	serial := adascale.RunDatasetSerial(ds.Val, adascale.AdaScaleRunner(sys.Detector, sys.Regressor)())
+	if len(serial) != len(outs) {
+		t.Fatalf("serial %d vs parallel %d outputs", len(serial), len(outs))
+	}
+	for i := range outs {
+		if outs[i].Scale != serial[i].Scale {
+			t.Fatalf("output %d: parallel scale %d, serial %d", i, outs[i].Scale, serial[i].Scale)
+		}
 	}
 	res := adascale.Evaluate(adascale.ToEval(outs), len(cfg.Classes))
 	if res.MAP < 0 || res.MAP > 1 {

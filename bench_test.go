@@ -7,6 +7,7 @@ package adascale_test
 // cmd/adascale-bench.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"adascale/internal/rfcn"
 	"adascale/internal/seqnms"
 	"adascale/internal/synth"
+	"adascale/internal/tensor"
 )
 
 // benchBundle is a reduced-size experiment bundle shared by the table/
@@ -167,6 +169,61 @@ func BenchmarkDFFSnippet(b *testing.B) {
 	}
 }
 
+// BenchmarkRunDatasetSerial is the single-goroutine reference for the
+// dataset runner on the Table 1a workload (AdaScale over the val split).
+func BenchmarkRunDatasetSerial(b *testing.B) {
+	bundle(b)
+	run := adascale.AdaScaleRunner(benchSys.Detector, benchSys.Regressor)()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adascale.RunDatasetSerial(benchDS.Val, run)
+	}
+}
+
+// BenchmarkRunDatasetParallel fans the same workload across the worker
+// pool (sub-benchmarks pin the worker count; speedup needs multiple cores
+// — with GOMAXPROCS=1 the pool falls back to the serial path).
+func BenchmarkRunDatasetParallel(b *testing.B) {
+	bundle(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			adascale.SetWorkers(workers)
+			defer adascale.SetWorkers(0)
+			factory := adascale.AdaScaleRunner(benchSys.Detector, benchSys.Regressor)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				adascale.RunDataset(benchDS.Val, factory)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulParallel measures the row-tiled matmul kernel above its
+// parallel threshold; workers=1 is the serial reference.
+func BenchmarkMatMulParallel(b *testing.B) {
+	const m, k, n = 256, 256, 256
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.New(m, k)
+	c := tensor.New(k, n)
+	for _, t := range []*tensor.Tensor{a, c} {
+		d := t.Data()
+		for i := range d {
+			d[i] = rng.Float32()
+		}
+	}
+	dst := tensor.New(m, n)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			adascale.SetWorkers(workers)
+			defer adascale.SetWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(dst, a, c)
+			}
+		})
+	}
+}
+
 // --- Component micro-benchmarks ---
 
 func BenchmarkDetect600(b *testing.B) {
@@ -279,9 +336,7 @@ func BenchmarkSeqNMSSnippet(b *testing.B) {
 
 func BenchmarkEvaluateMAP(b *testing.B) {
 	bundle(b)
-	outs := adascale.RunDataset(benchDS.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
-		return adascale.RunFixed(benchSys.Detector, sn, 600)
-	})
+	outs := adascale.RunDataset(benchDS.Val, adascale.FixedRunner(benchSys.Detector, 600))
 	frames := adascale.ToEval(outs)
 	n := len(benchDS.Config.Classes)
 	b.ResetTimer()

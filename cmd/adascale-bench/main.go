@@ -4,7 +4,7 @@
 // Usage:
 //
 //	adascale-bench [-dataset vid|ytbb] [-exp all|table1,table2,...] \
-//	               [-train N] [-val N] [-seed N]
+//	               [-train N] [-val N] [-seed N] [-workers N]
 //
 // Experiments: table1, table2, table3, fig5, fig6, fig7, fig9, fig10,
 // qualitative.
@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"adascale/internal/experiments"
+	"adascale/internal/parallel"
 )
 
 func main() {
@@ -26,7 +27,9 @@ func main() {
 	train := flag.Int("train", 60, "training snippets")
 	val := flag.Int("val", 30, "validation snippets")
 	seed := flag.Int64("seed", 5, "dataset seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	cfg := experiments.Config{
 		Dataset:       *dataset,

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	adascale-eval [-dataset vid|ytbb] [-train N] [-val N] [-seed N] \
-//	              [-weights weights.bin]
+//	              [-weights weights.bin] [-workers N]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"adascale/internal/experiments"
+	"adascale/internal/parallel"
 )
 
 func main() {
@@ -22,7 +23,9 @@ func main() {
 	val := flag.Int("val", 30, "validation snippets")
 	seed := flag.Int64("seed", 5, "dataset seed")
 	weights := flag.String("weights", "", "optional regressor weights from adascale-train")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	b, err := experiments.Prepare(experiments.Config{
 		Dataset: *dataset, TrainSnippets: *train, ValSnippets: *val, Seed: *seed,

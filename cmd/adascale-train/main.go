@@ -6,7 +6,8 @@
 // Usage:
 //
 //	adascale-train [-dataset vid|ytbb] [-train N] [-seed N] \
-//	               [-kernels 1,3] [-epochs 2] [-lr 0.01] [-o weights.bin]
+//	               [-kernels 1,3] [-epochs 2] [-lr 0.01] [-o weights.bin] \
+//	               [-workers N]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"adascale/internal/adascale"
+	"adascale/internal/parallel"
 	"adascale/internal/synth"
 )
 
@@ -28,7 +30,9 @@ func main() {
 	epochs := flag.Int("epochs", 2, "training epochs")
 	lr := flag.Float64("lr", 0.01, "base learning rate")
 	out := flag.String("o", "adascale-regressor.bin", "output weights file")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "adascale-train:", err)

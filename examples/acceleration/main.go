@@ -21,49 +21,42 @@ func main() {
 	n := len(cfg.Classes)
 	dffCfg := adascale.DefaultDFFConfig()
 
-	seqnmsed := func(run func(*adascale.Snippet) []adascale.FrameOutput) func(*adascale.Snippet) []adascale.FrameOutput {
-		return func(sn *adascale.Snippet) []adascale.FrameOutput {
-			outs := run(sn)
-			perFrame := make([][]adascale.Detection, len(outs))
-			for i := range outs {
-				perFrame[i] = outs[i].Detections
+	// seqnmsed composes Seq-NMS rescoring onto a base runner factory; the
+	// wrapper preserves the base factory's per-worker isolation.
+	seqnmsed := func(base adascale.RunnerFactory) adascale.RunnerFactory {
+		return func() adascale.SnippetRunner {
+			run := base()
+			return func(sn *adascale.Snippet) []adascale.FrameOutput {
+				outs := run(sn)
+				perFrame := make([][]adascale.Detection, len(outs))
+				for i := range outs {
+					perFrame[i] = outs[i].Detections
+				}
+				rescored := adascale.ApplySeqNMS(perFrame, adascale.SeqNMSOptions{})
+				for i := range outs {
+					outs[i].Detections = rescored[i]
+					outs[i].OverheadMS += 1.5 // amortised post-processing
+				}
+				return outs
 			}
-			rescored := adascale.ApplySeqNMS(perFrame, adascale.SeqNMSOptions{})
-			for i := range outs {
-				outs[i].Detections = rescored[i]
-				outs[i].OverheadMS += 1.5 // amortised post-processing
-			}
-			return outs
 		}
 	}
 
 	systems := []struct {
-		name string
-		run  func(*adascale.Snippet) []adascale.FrameOutput
+		name    string
+		factory adascale.RunnerFactory
 	}{
-		{"R-FCN @600", func(sn *adascale.Snippet) []adascale.FrameOutput {
-			return adascale.RunFixed(ssDet, sn, 600)
-		}},
-		{"+AdaScale", func(sn *adascale.Snippet) []adascale.FrameOutput {
-			return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-		}},
-		{"DFF", func(sn *adascale.Snippet) []adascale.FrameOutput {
-			return adascale.RunDFF(sys.Detector, sn, 600, dffCfg)
-		}},
-		{"DFF+AdaScale", func(sn *adascale.Snippet) []adascale.FrameOutput {
-			return adascale.RunDFFAdaptive(sys.Detector, sys.Regressor, sn, dffCfg)
-		}},
-		{"SeqNMS", seqnmsed(func(sn *adascale.Snippet) []adascale.FrameOutput {
-			return adascale.RunFixed(ssDet, sn, 600)
-		})},
-		{"SeqNMS+AdaScale", seqnmsed(func(sn *adascale.Snippet) []adascale.FrameOutput {
-			return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-		})},
+		{"R-FCN @600", adascale.FixedRunner(ssDet, 600)},
+		{"+AdaScale", adascale.AdaScaleRunner(sys.Detector, sys.Regressor)},
+		{"DFF", adascale.DFFRunner(sys.Detector, 600, dffCfg)},
+		{"DFF+AdaScale", adascale.DFFAdaptiveRunner(sys.Detector, sys.Regressor, dffCfg)},
+		{"SeqNMS", seqnmsed(adascale.FixedRunner(ssDet, 600))},
+		{"SeqNMS+AdaScale", seqnmsed(adascale.AdaScaleRunner(sys.Detector, sys.Regressor))},
 	}
 
 	fmt.Printf("%-17s %8s %12s %8s\n", "system", "mAP", "ms/frame", "FPS")
 	for _, s := range systems {
-		outs := adascale.RunDataset(ds.Val, s.run)
+		outs := adascale.RunDataset(ds.Val, s.factory)
 		res := adascale.Evaluate(adascale.ToEval(outs), n)
 		ms := adascale.MeanRuntimeMS(outs)
 		fmt.Printf("%-17s %7.1f%% %12.1f %8.1f\n", s.name, res.MAP*100, ms, 1000/ms)

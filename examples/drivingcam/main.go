@@ -37,12 +37,8 @@ func main() {
 	sys := adascale.Build(ds, adascale.DefaultBuildConfig())
 	ssDet := adascale.NewSSDetector(&ds.Config)
 
-	fixed := adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
-		return adascale.RunFixed(ssDet, sn, 600)
-	})
-	ada := adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
-		return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-	})
+	fixed := adascale.RunDataset(ds.Val, adascale.FixedRunner(ssDet, 600))
+	ada := adascale.RunDataset(ds.Val, adascale.AdaScaleRunner(sys.Detector, sys.Regressor))
 
 	n := len(classes)
 	fr := adascale.Evaluate(adascale.ToEval(fixed), n)

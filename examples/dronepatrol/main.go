@@ -37,15 +37,9 @@ func main() {
 		return adascale.Evaluate(adascale.ToEval(outs), n).MAP, adascale.MeanRuntimeMS(outs)
 	}
 
-	full, fullMS := score(adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
-		return adascale.RunFixed(sys.Detector, sn, 600)
-	}))
-	low, lowMS := score(adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
-		return adascale.RunFixed(sys.Detector, sn, 240)
-	}))
-	adaOuts := adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
-		return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-	})
+	full, fullMS := score(adascale.RunDataset(ds.Val, adascale.FixedRunner(sys.Detector, 600)))
+	low, lowMS := score(adascale.RunDataset(ds.Val, adascale.FixedRunner(sys.Detector, 240)))
+	adaOuts := adascale.RunDataset(ds.Val, adascale.AdaScaleRunner(sys.Detector, sys.Regressor))
 	ada, adaMS := score(adaOuts)
 
 	fmt.Println("aerial workload (small, distant objects)")

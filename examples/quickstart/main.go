@@ -24,16 +24,16 @@ func main() {
 	sys := adascale.Build(ds, adascale.DefaultBuildConfig())
 
 	// 3. Baseline: the detector at the conventional fixed scale 600.
+	//    RunDataset fans snippets across a worker pool (bound it with
+	//    adascale.SetWorkers or the adascale-bench -workers flag); each
+	//    worker gets its own detector clone, and the output is identical
+	//    for any worker count.
 	ssDet := adascale.NewSSDetector(&ds.Config)
-	fixed := adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
-		return adascale.RunFixed(ssDet, sn, 600)
-	})
+	fixed := adascale.RunDataset(ds.Val, adascale.FixedRunner(ssDet, 600))
 
 	// 4. AdaScale: Algorithm 1 — the regressor picks each next frame's
 	//    scale from the current frame's deep features.
-	ada := adascale.RunDataset(ds.Val, func(sn *adascale.Snippet) []adascale.FrameOutput {
-		return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-	})
+	ada := adascale.RunDataset(ds.Val, adascale.AdaScaleRunner(sys.Detector, sys.Regressor))
 
 	// 5. Score both.
 	n := len(cfg.Classes)

@@ -143,13 +143,3 @@ func RunMultiShot(det *rfcn.Detector, sn *synth.Snippet, scales []int) []FrameOu
 	}
 	return outputs
 }
-
-// RunDataset applies a per-snippet runner across a split and concatenates
-// the outputs.
-func RunDataset(snippets []synth.Snippet, run func(*synth.Snippet) []FrameOutput) []FrameOutput {
-	var outputs []FrameOutput
-	for i := range snippets {
-		outputs = append(outputs, run(&snippets[i])...)
-	}
-	return outputs
-}

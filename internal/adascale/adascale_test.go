@@ -110,13 +110,10 @@ func TestTable1Shape(t *testing.T) {
 	nC := len(ds.Config.Classes)
 	ssDet := rfcn.NewSS(&ds.Config)
 
-	ss := RunDataset(ds.Val, func(sn *synth.Snippet) []FrameOutput { return RunFixed(ssDet, sn, 600) })
-	ms := RunDataset(ds.Val, func(sn *synth.Snippet) []FrameOutput { return RunFixed(sys.Detector, sn, 600) })
-	ada := RunDataset(ds.Val, func(sn *synth.Snippet) []FrameOutput { return RunAdaScale(sys.Detector, sys.Regressor, sn) })
-	rng := rand.New(rand.NewSource(7))
-	rnd := RunDataset(ds.Val, func(sn *synth.Snippet) []FrameOutput {
-		return RunRandom(sys.Detector, sn, regressor.SReg, rng)
-	})
+	ss := RunDataset(ds.Val, FixedRunner(ssDet, 600))
+	ms := RunDataset(ds.Val, FixedRunner(sys.Detector, 600))
+	ada := RunDataset(ds.Val, AdaScaleRunner(sys.Detector, sys.Regressor))
+	rnd := RunDataset(ds.Val, RandomRunner(sys.Detector, regressor.SReg, 7))
 
 	mAP := func(outs []FrameOutput) float64 { return eval.Evaluate(toEval(outs), nC).MAP }
 	ssMAP, msMAP, adaMAP, rndMAP := mAP(ss), mAP(ms), mAP(ada), mAP(rnd)

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"adascale/internal/eval"
-	"adascale/internal/synth"
 )
 
 func TestMultiShotBetweenAdaScaleAndMultiScale(t *testing.T) {
@@ -14,15 +13,9 @@ func TestMultiShotBetweenAdaScaleAndMultiScale(t *testing.T) {
 	ds, sys := system(t)
 	nC := len(ds.Config.Classes)
 
-	ada := RunDataset(ds.Val, func(sn *synth.Snippet) []FrameOutput {
-		return RunAdaScale(sys.Detector, sys.Regressor, sn)
-	})
-	multi := RunDataset(ds.Val, func(sn *synth.Snippet) []FrameOutput {
-		return RunAdaScaleMultiShot(sys.Detector, sys.Regressor, sn, DefaultMultiShotConfig())
-	})
-	full := RunDataset(ds.Val, func(sn *synth.Snippet) []FrameOutput {
-		return RunMultiShot(sys.Detector, sn, []int{600, 480, 360, 240})
-	})
+	ada := RunDataset(ds.Val, AdaScaleRunner(sys.Detector, sys.Regressor))
+	multi := RunDataset(ds.Val, AdaScaleMultiShotRunner(sys.Detector, sys.Regressor, DefaultMultiShotConfig()))
+	full := RunDataset(ds.Val, MultiShotRunner(sys.Detector, []int{600, 480, 360, 240}))
 
 	mAP := func(outs []FrameOutput) float64 { return eval.Evaluate(toEval(outs), nC).MAP }
 	adaM, multiM, fullM := mAP(ada), mAP(multi), mAP(full)

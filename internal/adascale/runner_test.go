@@ -1,0 +1,87 @@
+package adascale
+
+import (
+	"testing"
+
+	"adascale/internal/parallel"
+)
+
+// assertSameOutputs compares two FrameOutput streams for identical order
+// and values (frame identity, scale, costs, and full detection lists).
+func assertSameOutputs(t *testing.T, want, got []FrameOutput) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("output length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Frame != g.Frame {
+			t.Fatalf("output %d: frame pointer mismatch", i)
+		}
+		if w.Scale != g.Scale || w.DetectorMS != g.DetectorMS || w.OverheadMS != g.OverheadMS {
+			t.Fatalf("output %d: (scale %d, det %v, over %v), want (%d, %v, %v)",
+				i, g.Scale, g.DetectorMS, g.OverheadMS, w.Scale, w.DetectorMS, w.OverheadMS)
+		}
+		if len(w.Detections) != len(g.Detections) {
+			t.Fatalf("output %d: %d detections, want %d", i, len(g.Detections), len(w.Detections))
+		}
+		for j := range w.Detections {
+			if w.Detections[j] != g.Detections[j] {
+				t.Fatalf("output %d detection %d: %+v, want %+v", i, j, g.Detections[j], w.Detections[j])
+			}
+		}
+	}
+}
+
+// TestRunDatasetParallelMatchesSerial is the determinism contract of the
+// parallel execution engine: for every protocol, fanning the snippets
+// across workers with per-worker clones must reproduce the serial output
+// stream exactly — order and values.
+func TestRunDatasetParallelMatchesSerial(t *testing.T) {
+	ds, sys := system(t)
+
+	factories := map[string]RunnerFactory{
+		"fixed":     FixedRunner(sys.Detector, 480),
+		"adascale":  AdaScaleRunner(sys.Detector, sys.Regressor),
+		"multishot": MultiShotRunner(sys.Detector, []int{600, 360}),
+		"random":    RandomRunner(sys.Detector, []int{600, 480, 360, 240, 128}, 42),
+	}
+	for name, factory := range factories {
+		t.Run(name, func(t *testing.T) {
+			serial := RunDatasetSerial(ds.Val, factory())
+			for _, workers := range []int{2, 4, 7} {
+				parallel.SetWorkers(workers)
+				got := RunDataset(ds.Val, factory)
+				parallel.SetWorkers(0)
+				assertSameOutputs(t, serial, got)
+			}
+		})
+	}
+}
+
+// TestRunDatasetEmptySplit covers the zero-snippet edge of both paths.
+func TestRunDatasetEmptySplit(t *testing.T) {
+	_, sys := system(t)
+	factory := FixedRunner(sys.Detector, 600)
+	if got := RunDataset(nil, factory); len(got) != 0 {
+		t.Fatalf("parallel: %d outputs from empty split", len(got))
+	}
+	if got := RunDatasetSerial(nil, factory()); len(got) != 0 {
+		t.Fatalf("serial: %d outputs from empty split", len(got))
+	}
+}
+
+// TestRandomRunnerDeterministicPerSnippet ensures the per-snippet seeding
+// gives the same scales no matter how often or in what order snippets run.
+func TestRandomRunnerDeterministicPerSnippet(t *testing.T) {
+	ds, sys := system(t)
+	factory := RandomRunner(sys.Detector, []int{600, 360, 128}, 9)
+	run := factory()
+	a := run(&ds.Val[3])
+	b := factory()(&ds.Val[3])
+	for i := range a {
+		if a[i].Scale != b[i].Scale {
+			t.Fatalf("frame %d: scale %d vs %d across repeated runs", i, a[i].Scale, b[i].Scale)
+		}
+	}
+}

@@ -63,6 +63,25 @@ func RunAdaptive(det *rfcn.Detector, reg *regressor.Regressor, sn *synth.Snippet
 	return run(det, reg, sn, adascale.InitialScale, cfg)
 }
 
+// Runner returns a factory for the fixed-scale DFF protocol. Each worker
+// gets its own detector clone (key-frame detection drives the stateful
+// backbone when composed with features; flow estimation is stateless).
+func Runner(det *rfcn.Detector, keyScale int, cfg Config) adascale.RunnerFactory {
+	return func() adascale.SnippetRunner {
+		d := det.Clone()
+		return func(sn *synth.Snippet) []adascale.FrameOutput { return Run(d, sn, keyScale, cfg) }
+	}
+}
+
+// AdaptiveRunner returns a factory for DFF + AdaScale; detector and
+// regressor are cloned per worker.
+func AdaptiveRunner(det *rfcn.Detector, reg *regressor.Regressor, cfg Config) adascale.RunnerFactory {
+	return func() adascale.SnippetRunner {
+		d, r := det.Clone(), reg.Clone()
+		return func(sn *synth.Snippet) []adascale.FrameOutput { return RunAdaptive(d, r, sn, cfg) }
+	}
+}
+
 func run(det *rfcn.Detector, reg *regressor.Regressor, sn *synth.Snippet, keyScale int, cfg Config) []adascale.FrameOutput {
 	if cfg.KeyInterval < 1 {
 		cfg.KeyInterval = 1

@@ -59,12 +59,8 @@ func TestKeyFrameSchedule(t *testing.T) {
 
 func TestDFFFasterThanPerFrameDetection(t *testing.T) {
 	d, s := testSystem(t)
-	base := adascale.RunDataset(d.Val[:4], func(sn *synth.Snippet) []adascale.FrameOutput {
-		return adascale.RunFixed(s.Detector, sn, 600)
-	})
-	dffOut := adascale.RunDataset(d.Val[:4], func(sn *synth.Snippet) []adascale.FrameOutput {
-		return Run(s.Detector, sn, 600, DefaultConfig())
-	})
+	base := adascale.RunDataset(d.Val[:4], adascale.FixedRunner(s.Detector, 600))
+	dffOut := adascale.RunDataset(d.Val[:4], Runner(s.Detector, 600, DefaultConfig()))
 	if adascale.MeanRuntimeMS(dffOut) >= adascale.MeanRuntimeMS(base)/2 {
 		t.Fatalf("DFF runtime %v not substantially below per-frame %v",
 			adascale.MeanRuntimeMS(dffOut), adascale.MeanRuntimeMS(base))
@@ -87,10 +83,8 @@ func TestPropagationTracksMotionBetterThanFreezing(t *testing.T) {
 		}
 		return outs
 	}
-	flowed := adascale.RunDataset(d.Val, func(sn *synth.Snippet) []adascale.FrameOutput {
-		return Run(s.Detector, sn, 600, cfg)
-	})
-	frozenOut := adascale.RunDataset(d.Val, frozen)
+	flowed := adascale.RunDataset(d.Val, Runner(s.Detector, 600, cfg))
+	frozenOut := adascale.RunDataset(d.Val, adascale.SharedRunner(frozen))
 	mFlow := eval.Evaluate(toEval(flowed), nC).MAP
 	mFrozen := eval.Evaluate(toEval(frozenOut), nC).MAP
 	if mFlow <= mFrozen {
@@ -104,9 +98,7 @@ func TestAccuracyDegradesWithKeyInterval(t *testing.T) {
 	mAPAt := func(interval int) float64 {
 		cfg := DefaultConfig()
 		cfg.KeyInterval = interval
-		outs := adascale.RunDataset(d.Val, func(sn *synth.Snippet) []adascale.FrameOutput {
-			return Run(s.Detector, sn, 600, cfg)
-		})
+		outs := adascale.RunDataset(d.Val, Runner(s.Detector, 600, cfg))
 		return eval.Evaluate(toEval(outs), nC).MAP
 	}
 	if m1, m12 := mAPAt(1), mAPAt(12); m12 >= m1 {
@@ -116,12 +108,8 @@ func TestAccuracyDegradesWithKeyInterval(t *testing.T) {
 
 func TestAdaptiveCheaperThanFixedDFF(t *testing.T) {
 	d, s := testSystem(t)
-	fixed := adascale.RunDataset(d.Val, func(sn *synth.Snippet) []adascale.FrameOutput {
-		return Run(s.Detector, sn, 600, DefaultConfig())
-	})
-	adaptive := adascale.RunDataset(d.Val, func(sn *synth.Snippet) []adascale.FrameOutput {
-		return RunAdaptive(s.Detector, s.Regressor, sn, DefaultConfig())
-	})
+	fixed := adascale.RunDataset(d.Val, Runner(s.Detector, 600, DefaultConfig()))
+	adaptive := adascale.RunDataset(d.Val, AdaptiveRunner(s.Detector, s.Regressor, DefaultConfig()))
 	if adascale.MeanRuntimeMS(adaptive) >= adascale.MeanRuntimeMS(fixed) {
 		t.Fatalf("DFF+AdaScale (%v ms) must be cheaper than DFF (%v ms) — the paper's +25%%",
 			adascale.MeanRuntimeMS(adaptive), adascale.MeanRuntimeMS(fixed))

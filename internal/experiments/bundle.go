@@ -11,7 +11,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"sort"
 
 	"adascale/internal/adascale"
@@ -138,10 +137,10 @@ func ToEval(outputs []adascale.FrameOutput) []eval.FrameDetections {
 	return out
 }
 
-// evaluateMethod runs a per-snippet runner over the validation split and
-// scores it.
-func (b *Bundle) evaluateMethod(name string, run func(*synth.Snippet) []adascale.FrameOutput) MethodRow {
-	outputs := adascale.RunDataset(b.DS.Val, run)
+// evaluateMethod runs a per-snippet runner factory over the validation
+// split (in parallel, one runner per worker) and scores it.
+func (b *Bundle) evaluateMethod(name string, factory adascale.RunnerFactory) MethodRow {
+	outputs := adascale.RunDataset(b.DS.Val, factory)
 	res := eval.Evaluate(ToEval(outputs), len(b.DS.Config.Classes))
 	per := make([]float64, len(res.PerClass))
 	for i, c := range res.PerClass {
@@ -162,23 +161,12 @@ func (b *Bundle) evaluateMethod(name string, run func(*synth.Snippet) []adascale
 // split: SS/SS, MS/SS, MS/MS, MS/Random and MS/AdaScale.
 func (b *Bundle) StandardMethods() []MethodRow {
 	sys := b.DefaultSystem()
-	rng := rand.New(rand.NewSource(b.Cfg.Seed + 101))
 	return []MethodRow{
-		b.evaluateMethod("SS/SS", func(sn *synth.Snippet) []adascale.FrameOutput {
-			return adascale.RunFixed(b.SS, sn, 600)
-		}),
-		b.evaluateMethod("MS/SS", func(sn *synth.Snippet) []adascale.FrameOutput {
-			return adascale.RunFixed(sys.Detector, sn, 600)
-		}),
-		b.evaluateMethod("MS/MS", func(sn *synth.Snippet) []adascale.FrameOutput {
-			return adascale.RunMultiShot(sys.Detector, sn, []int{600, 480, 360, 240})
-		}),
-		b.evaluateMethod("MS/Random", func(sn *synth.Snippet) []adascale.FrameOutput {
-			return adascale.RunRandom(sys.Detector, sn, regressor.SReg, rng)
-		}),
-		b.evaluateMethod("MS/AdaScale", func(sn *synth.Snippet) []adascale.FrameOutput {
-			return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-		}),
+		b.evaluateMethod("SS/SS", adascale.FixedRunner(b.SS, 600)),
+		b.evaluateMethod("MS/SS", adascale.FixedRunner(sys.Detector, 600)),
+		b.evaluateMethod("MS/MS", adascale.MultiShotRunner(sys.Detector, []int{600, 480, 360, 240})),
+		b.evaluateMethod("MS/Random", adascale.RandomRunner(sys.Detector, regressor.SReg, b.Cfg.Seed+101)),
+		b.evaluateMethod("MS/AdaScale", adascale.AdaScaleRunner(sys.Detector, sys.Regressor)),
 	}
 }
 

@@ -6,7 +6,6 @@ import (
 
 	"adascale/internal/adascale"
 	"adascale/internal/regressor"
-	"adascale/internal/synth"
 )
 
 // Fig10Bins are the histogram bin edges (scales) for the regressed-scale
@@ -35,9 +34,7 @@ func (b *Bundle) Fig10() *Fig10Result {
 	res := &Fig10Result{}
 	for _, strain := range Table2Strains {
 		sys := b.System(strain, regressor.DefaultKernels)
-		outs := adascale.RunDataset(b.DS.Val, func(sn *synth.Snippet) []adascale.FrameOutput {
-			return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-		})
+		outs := adascale.RunDataset(b.DS.Val, adascale.AdaScaleRunner(sys.Detector, sys.Regressor))
 		counts := make([]int, len(Fig10Bins)-1)
 		for _, o := range outs {
 			for i := len(Fig10Bins) - 2; i >= 0; i-- {

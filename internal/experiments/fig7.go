@@ -32,33 +32,20 @@ func (b *Bundle) Fig7() *Fig7Result {
 	dffCfg := dff.DefaultConfig()
 
 	methods := []struct {
-		name string
-		run  func(*synth.Snippet) []adascale.FrameOutput
-		post func([]adascale.FrameOutput) []adascale.FrameOutput
+		name    string
+		factory adascale.RunnerFactory
 	}{
-		{name: "R-FCN", run: func(sn *synth.Snippet) []adascale.FrameOutput {
-			return adascale.RunFixed(b.SS, sn, 600)
-		}},
-		{name: "R-FCN+AdaScale", run: func(sn *synth.Snippet) []adascale.FrameOutput {
-			return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-		}},
-		{name: "DFF", run: func(sn *synth.Snippet) []adascale.FrameOutput {
-			return dff.Run(sys.Detector, sn, 600, dffCfg)
-		}},
-		{name: "DFF+AdaScale", run: func(sn *synth.Snippet) []adascale.FrameOutput {
-			return dff.RunAdaptive(sys.Detector, sys.Regressor, sn, dffCfg)
-		}},
-		{name: "SeqNMS", run: func(sn *synth.Snippet) []adascale.FrameOutput {
-			return applySeqNMS(adascale.RunFixed(b.SS, sn, 600))
-		}},
-		{name: "SeqNMS+AdaScale", run: func(sn *synth.Snippet) []adascale.FrameOutput {
-			return applySeqNMS(adascale.RunAdaScale(sys.Detector, sys.Regressor, sn))
-		}},
+		{name: "R-FCN", factory: adascale.FixedRunner(b.SS, 600)},
+		{name: "R-FCN+AdaScale", factory: adascale.AdaScaleRunner(sys.Detector, sys.Regressor)},
+		{name: "DFF", factory: dff.Runner(sys.Detector, 600, dffCfg)},
+		{name: "DFF+AdaScale", factory: dff.AdaptiveRunner(sys.Detector, sys.Regressor, dffCfg)},
+		{name: "SeqNMS", factory: withSeqNMS(adascale.FixedRunner(b.SS, 600))},
+		{name: "SeqNMS+AdaScale", factory: withSeqNMS(adascale.AdaScaleRunner(sys.Detector, sys.Regressor))},
 	}
 
 	res := &Fig7Result{}
 	for _, m := range methods {
-		row := b.evaluateMethod(m.name, m.run)
+		row := b.evaluateMethod(m.name, m.factory)
 		res.Points = append(res.Points, ParetoPoint{
 			Name:      m.name,
 			MAP:       row.MAP,
@@ -67,6 +54,18 @@ func (b *Bundle) Fig7() *Fig7Result {
 		})
 	}
 	return res
+}
+
+// withSeqNMS composes Seq-NMS post-processing onto a base runner factory.
+// Seq-NMS itself touches no shared state, so wrapping preserves the base
+// factory's per-worker isolation.
+func withSeqNMS(base adascale.RunnerFactory) adascale.RunnerFactory {
+	return func() adascale.SnippetRunner {
+		run := base()
+		return func(sn *synth.Snippet) []adascale.FrameOutput {
+			return applySeqNMS(run(sn))
+		}
+	}
 }
 
 // applySeqNMS reruns Seq-NMS over one snippet's outputs and charges its

@@ -6,7 +6,6 @@ import (
 
 	"adascale/internal/adascale"
 	"adascale/internal/regressor"
-	"adascale/internal/synth"
 )
 
 // Table2Strains are the paper's four detector training-scale sets.
@@ -36,12 +35,8 @@ func (b *Bundle) Table2() *Table2Result {
 	res := &Table2Result{}
 	for _, strain := range Table2Strains {
 		sys := b.System(strain, regressor.DefaultKernels)
-		ss := b.evaluateMethod(scalesString(strain)+"/SS", func(sn *synth.Snippet) []adascale.FrameOutput {
-			return adascale.RunFixed(sys.Detector, sn, 600)
-		})
-		ada := b.evaluateMethod(scalesString(strain)+"/Ada", func(sn *synth.Snippet) []adascale.FrameOutput {
-			return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-		})
+		ss := b.evaluateMethod(scalesString(strain)+"/SS", adascale.FixedRunner(sys.Detector, 600))
+		ada := b.evaluateMethod(scalesString(strain)+"/Ada", adascale.AdaScaleRunner(sys.Detector, sys.Regressor))
 		res.Entries = append(res.Entries, Table2Entry{Strain: strain, SS: ss, Ada: ada})
 	}
 	return res

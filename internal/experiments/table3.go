@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"adascale/internal/adascale"
-	"adascale/internal/synth"
 )
 
 // Table3Kernels are the regressor branch architectures of the paper's
@@ -30,9 +29,7 @@ func (b *Bundle) Table3() *Table3Result {
 	res := &Table3Result{}
 	for _, kernels := range Table3Kernels {
 		sys := b.System([]int{600, 480, 360, 240}, kernels)
-		ada := b.evaluateMethod("kernels "+scalesString(kernels), func(sn *synth.Snippet) []adascale.FrameOutput {
-			return adascale.RunAdaScale(sys.Detector, sys.Regressor, sn)
-		})
+		ada := b.evaluateMethod("kernels "+scalesString(kernels), adascale.AdaScaleRunner(sys.Detector, sys.Regressor))
 		res.Entries = append(res.Entries, Table3Entry{Kernels: kernels, Ada: ada})
 	}
 	return res

@@ -47,6 +47,9 @@ func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
 // Params returns nil; ReLU has no parameters.
 func (r *ReLU) Params() []*Param { return nil }
 
+// Clone returns a fresh ReLU (the active-mask cache is per instance).
+func (r *ReLU) Clone() *ReLU { return NewReLU() }
+
 // Tanh applies the hyperbolic tangent elementwise. The AdaScale regressor
 // target is a normalised relative scale in [-1, 1] (Eq. 3), so a Tanh output
 // head keeps predictions in range by construction.
@@ -84,6 +87,9 @@ func (t *Tanh) Backward(dy *tensor.Tensor) *tensor.Tensor {
 
 // Params returns nil; Tanh has no parameters.
 func (t *Tanh) Params() []*Param { return nil }
+
+// Clone returns a fresh Tanh (the last-output cache is per instance).
+func (t *Tanh) Clone() *Tanh { return NewTanh() }
 
 func tanh32(x float32) float32 {
 	// Clamp to avoid overflow in exp; tanh saturates well before ±20.

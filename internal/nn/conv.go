@@ -95,3 +95,14 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 
 // Params returns the weight and bias parameters.
 func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// Clone returns an independent deep copy with empty forward caches. Layers
+// cache activations between Forward and Backward and are not safe for
+// concurrent use; the parallel pipeline gives each worker its own clone.
+func (c *Conv2D) Clone() *Conv2D {
+	return &Conv2D{
+		InC: c.InC, OutC: c.OutC, Kernel: c.Kernel, Stride: c.Stride, Pad: c.Pad,
+		Weight: c.Weight.Clone(),
+		Bias:   c.Bias.Clone(),
+	}
+}

@@ -56,3 +56,8 @@ func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 
 // Params returns the weight and bias parameters.
 func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// Clone returns an independent deep copy with an empty forward cache.
+func (d *Dense) Clone() *Dense {
+	return &Dense{In: d.In, Out: d.Out, Weight: d.Weight.Clone(), Bias: d.Bias.Clone()}
+}

@@ -32,6 +32,13 @@ func NewParam(name string, w *tensor.Tensor) *Param {
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
+// Clone returns a deep copy of the parameter: weights and accumulated
+// gradients share no storage with the original, so per-worker network
+// clones can train or run independently.
+func (p *Param) Clone() *Param {
+	return &Param{Name: p.Name, W: p.W.Clone(), Grad: p.Grad.Clone()}
+}
+
 // Layer is a differentiable module. Backward must be called after Forward
 // with the gradient of the loss w.r.t. the layer output; it accumulates
 // parameter gradients (without zeroing them first) and returns the gradient

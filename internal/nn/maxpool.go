@@ -74,3 +74,7 @@ func (m *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 
 // Params returns nil; pooling has no parameters.
 func (m *MaxPool2D) Params() []*Param { return nil }
+
+// Clone returns a fresh pool of the same window size (caches are per
+// instance).
+func (m *MaxPool2D) Clone() *MaxPool2D { return NewMaxPool2D(m.Size) }

@@ -53,6 +53,9 @@ func (g *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
 // Params returns nil; pooling has no parameters.
 func (g *GlobalAvgPool) Params() []*Param { return nil }
 
+// Clone returns a fresh pool (the spatial-size cache is per instance).
+func (g *GlobalAvgPool) Clone() *GlobalAvgPool { return NewGlobalAvgPool() }
+
 // GlobalMaxPool reduces a C×H×W tensor to a length-C vector by taking the
 // maximum of each channel plane.
 type GlobalMaxPool struct {
@@ -103,3 +106,6 @@ func (g *GlobalMaxPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
 
 // Params returns nil; pooling has no parameters.
 func (g *GlobalMaxPool) Params() []*Param { return nil }
+
+// Clone returns a fresh pool (the argmax cache is per instance).
+func (g *GlobalMaxPool) Clone() *GlobalMaxPool { return NewGlobalMaxPool() }

@@ -1,0 +1,199 @@
+// Package parallel provides the bounded worker pool underlying every
+// concurrent stage of the pipeline: dataset generation, label generation,
+// the dataset runner and the tiled matrix kernels. Work items are indexed
+// [0, n) and results are collected in index order, so a parallel stage is
+// observationally identical to its serial loop whenever the per-item work
+// is deterministic — the invariant the determinism tests in
+// internal/adascale assert end to end.
+//
+// The worker count honours GOMAXPROCS by default and can be overridden
+// globally with SetWorkers (wired to the -workers flag of the commands) or
+// per call with the *N variants. A pool is created per call and never
+// outlives it; nested parallel calls are safe, they simply share the CPUs.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride holds the global worker-count override; 0 means "use
+// GOMAXPROCS".
+var workerOverride atomic.Int64
+
+// SetWorkers overrides the number of workers used by Map, MapWorkers and
+// ForEach. n <= 0 removes the override, restoring the GOMAXPROCS default.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int64(n))
+}
+
+// Workers returns the effective worker count: the SetWorkers override if
+// set, otherwise GOMAXPROCS.
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError wraps a panic recovered from a pool task so it can surface as
+// an ordinary error instead of deadlocking or killing the process.
+type PanicError struct {
+	// Value is the value the task panicked with.
+	Value any
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task panicked: %v", e.Value)
+}
+
+// run executes task(i) for every i in [0, n) on up to workers goroutines.
+// Indices are handed out through an atomic counter, so the pool is bounded
+// and work-stealing-free. The first task panic is recovered and returned as
+// a *PanicError; remaining workers stop picking up new work, and the pool
+// always drains (no deadlock).
+func run(workers, n int, task func(int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return runSerial(n, task)
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		err     error
+		wg      sync.WaitGroup
+	)
+	worker := func() {
+		defer wg.Done()
+		// A recover here catches at most one panic per worker; the worker
+		// then exits, which is fine — the other workers keep draining.
+		defer func() {
+			if r := recover(); r != nil {
+				errOnce.Do(func() { err = &PanicError{Value: r} })
+				failed.Store(true)
+			}
+		}()
+		for !failed.Load() {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			task(i)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return err
+}
+
+// runSerial is the single-worker path: no goroutines, same error contract.
+func runSerial(n int, task func(int)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		task(i)
+	}
+	return nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) across Workers() goroutines.
+// A panicking task surfaces as a *PanicError.
+func ForEach(n int, fn func(int)) error { return ForEachN(Workers(), n, fn) }
+
+// ForEachN is ForEach with an explicit worker count (capped at n).
+func ForEachN(workers, n int, fn func(int)) error { return run(workers, n, fn) }
+
+// Map runs fn(i) for every i in [0, n) across Workers() goroutines and
+// returns the results in index order. A task panic is re-raised on the
+// calling goroutine (wrapped in *PanicError), matching the behaviour of the
+// equivalent serial loop closely enough for drop-in use.
+func Map[R any](n int, fn func(int) R) []R { return MapN(Workers(), n, fn) }
+
+// MapN is Map with an explicit worker count.
+func MapN[R any](workers, n int, fn func(int) R) []R {
+	out := make([]R, n)
+	if err := run(workers, n, func(i int) { out[i] = fn(i) }); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// MapWorkers runs fn across Workers() goroutines with per-worker state:
+// each worker calls newWorker once and passes the value to every task it
+// executes. This is how the pipeline gives each worker its own detector /
+// regressor clone (the nn layers cache activations and are not safe to
+// share). Results are collected in index order; task panics re-raise on the
+// calling goroutine.
+func MapWorkers[S, R any](n int, newWorker func() S, fn func(S, int) R) []R {
+	return MapWorkersN(Workers(), n, newWorker, fn)
+}
+
+// MapWorkersN is MapWorkers with an explicit worker count.
+func MapWorkersN[S, R any](workers, n int, newWorker func() S, fn func(S, int) R) []R {
+	out := make([]R, n)
+	if n <= 0 {
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		s := newWorker()
+		if err := runSerial(n, func(i int) { out[i] = fn(s, i) }); err != nil {
+			panic(err)
+		}
+		return out
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		err     error
+		wg      sync.WaitGroup
+	)
+	worker := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				errOnce.Do(func() { err = &PanicError{Value: r} })
+				failed.Store(true)
+			}
+		}()
+		s := newWorker()
+		for !failed.Load() {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			out[i] = fn(s, i)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

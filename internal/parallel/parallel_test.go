@@ -1,0 +1,160 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	SetWorkers(0)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestSetWorkersOverride(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(-5)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative override must reset to GOMAXPROCS, got %d", got)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		got := MapN(workers, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestZeroItems(t *testing.T) {
+	if got := MapN(4, 0, func(i int) int { t.Error("task ran"); return 0 }); len(got) != 0 {
+		t.Fatalf("Map over 0 items returned %d results", len(got))
+	}
+	if err := ForEachN(4, 0, func(int) { t.Error("task ran") }); err != nil {
+		t.Fatalf("ForEach over 0 items: %v", err)
+	}
+	if got := MapWorkersN(4, 0, func() int { t.Error("newWorker ran"); return 0 },
+		func(int, int) int { return 0 }); len(got) != 0 {
+		t.Fatalf("MapWorkers over 0 items returned %d results", len(got))
+	}
+}
+
+func TestMoreWorkersThanItems(t *testing.T) {
+	var calls atomic.Int64
+	got := MapN(64, 3, func(i int) int {
+		calls.Add(1)
+		return i + 1
+	})
+	if calls.Load() != 3 {
+		t.Fatalf("ran %d tasks, want 3", calls.Load())
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPanicSurfacesAsErrorNotDeadlock(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEachN(4, 100, func(i int) {
+			if i == 13 {
+				panic("boom")
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("panicking task must surface as an error")
+		}
+		pe, ok := err.(*PanicError)
+		if !ok {
+			t.Fatalf("error type %T, want *PanicError", err)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("panic value %v, want boom", pe.Value)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pool deadlocked on a panicking task")
+	}
+}
+
+func TestPanicSerialPathAlsoErrors(t *testing.T) {
+	err := ForEachN(1, 5, func(i int) {
+		if i == 2 {
+			panic("serial boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("serial path must also convert panics to errors")
+	}
+}
+
+func TestMapRepanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Map must re-raise task panics")
+		}
+		if _, ok := r.(*PanicError); !ok {
+			t.Fatalf("repanic type %T, want *PanicError", r)
+		}
+	}()
+	MapN(4, 10, func(i int) int {
+		if i == 5 {
+			panic("map boom")
+		}
+		return i
+	})
+}
+
+func TestMapWorkersPerWorkerState(t *testing.T) {
+	var created atomic.Int64
+	type state struct{ id int64 }
+	got := MapWorkersN(4, 200, func() *state {
+		return &state{id: created.Add(1)}
+	}, func(s *state, i int) int64 {
+		if s == nil {
+			t.Error("nil worker state")
+		}
+		return s.id
+	})
+	n := created.Load()
+	if n < 1 || n > 4 {
+		t.Fatalf("created %d worker states, want 1..4", n)
+	}
+	// Every result must come from one of the created states.
+	for i, v := range got {
+		if v < 1 || v > n {
+			t.Fatalf("got[%d] = %d, outside state ids 1..%d", i, v, n)
+		}
+	}
+}
+
+func TestForEachCompletesAllItems(t *testing.T) {
+	seen := make([]atomic.Bool, 500)
+	if err := ForEachN(8, len(seen), func(i int) { seen[i].Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("item %d never ran", i)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package regressor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCloneProducesIdenticalPredictions: a cloned regressor must predict
+// exactly what the original predicts on the same features.
+func TestCloneProducesIdenticalPredictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := New(rng, DefaultKernels)
+	c := r.Clone()
+	for i := 0; i < 5; i++ {
+		feats := randFeatures(rng, 4+i, 5+i)
+		if got, want := c.Forward(feats), r.Forward(feats); got != want {
+			t.Fatalf("clone predicts %v, original %v", got, want)
+		}
+	}
+}
+
+// TestCloneIsIndependent: training the clone must leave the original's
+// weights (and therefore its predictions) untouched, and vice versa.
+func TestCloneIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	r := New(rng, DefaultKernels)
+	feats := randFeatures(rng, 6, 6)
+	want := r.Forward(feats)
+
+	c := r.Clone()
+	labels := []Label{
+		{Target: 0.8, Features: randFeatures(rng, 6, 6)},
+		{Target: -0.5, Features: randFeatures(rng, 6, 6)},
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	c.Fit(labels, cfg)
+
+	if got := r.Forward(feats); got != want {
+		t.Fatalf("training the clone moved the original: %v -> %v", want, got)
+	}
+	if c.Forward(feats) == want {
+		t.Fatal("training the clone did not change the clone (suspicious sharing)")
+	}
+
+	// The clone must not share Param objects with the original.
+	rp, cp := r.Params(), c.Params()
+	if len(rp) != len(cp) {
+		t.Fatalf("param counts differ: %d vs %d", len(rp), len(cp))
+	}
+	for i := range rp {
+		if rp[i] == cp[i] {
+			t.Fatalf("param %d (%s) is shared between clone and original", i, rp[i].Name)
+		}
+	}
+}
+
+// TestCloneHasNoSharedActivationState: interleaving forward/backward on the
+// original and the clone must not corrupt either — the property the
+// per-worker clones in the parallel runner rely on.
+func TestCloneHasNoSharedActivationState(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	r := New(rng, DefaultKernels)
+	c := r.Clone()
+
+	fa := randFeatures(rng, 5, 7)
+	fb := randFeatures(rng, 9, 3)
+
+	wantA, wantB := r.Forward(fa), r.Forward(fb)
+	gotA := c.Forward(fa)
+	// Interleave: original forwards fb while the clone still holds fa's
+	// cached activations, then both backprop.
+	if got := r.Forward(fb); got != wantB {
+		t.Fatalf("original disturbed by clone activity: %v vs %v", got, wantB)
+	}
+	c.Backward(0.1)
+	r.Backward(0.2)
+	if gotA != wantA {
+		t.Fatalf("clone prediction %v, want %v", gotA, wantA)
+	}
+}

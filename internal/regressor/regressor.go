@@ -108,6 +108,23 @@ func New(rng *rand.Rand, kernels []int) *Regressor {
 	return r
 }
 
+// Clone returns an independent regressor with identical weights. All
+// parameters are deep-copied and activation caches start empty, so a clone
+// can run Forward (or even train) concurrently with the original without
+// sharing any mutable state.
+func (r *Regressor) Clone() *Regressor {
+	c := &Regressor{
+		Kernels: append([]int(nil), r.Kernels...),
+		fc:      r.fc.Clone(),
+	}
+	for i := range r.branches {
+		c.branches = append(c.branches, r.branches[i].Clone())
+		c.relus = append(c.relus, r.relus[i].Clone())
+		c.pools = append(c.pools, r.pools[i].Clone())
+	}
+	return c
+}
+
 // Forward regresses t from a deep feature map (C×H×W, any spatial size —
 // global pooling absorbs the scale-dependent resolution).
 func (r *Regressor) Forward(features *tensor.Tensor) float64 {

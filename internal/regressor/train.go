@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"adascale/internal/nn"
+	"adascale/internal/parallel"
 	"adascale/internal/rfcn"
 	"adascale/internal/scaleopt"
 	"adascale/internal/synth"
@@ -29,20 +30,26 @@ type Label struct {
 // for the regressor to learn the dynamics"), and the target is Eq. 3's
 // t(m, m_opt). Deep features are extracted once here and cached on the
 // label.
+// Frames are processed in parallel with per-worker detector clones; the
+// random input scales are drawn serially up front, so the labels (and the
+// rng stream consumed) are identical to the historical serial loop.
 func GenerateLabels(det *rfcn.Detector, frames []*synth.Frame, sReg []int, rng *rand.Rand) []Label {
-	labels := make([]Label, 0, len(frames))
-	for _, f := range frames {
-		mOpt, _ := scaleopt.OptimalScale(det, f, sReg, scaleopt.DefaultLambda)
-		m := sReg[rng.Intn(len(sReg))]
-		labels = append(labels, Label{
+	scales := make([]int, len(frames))
+	for i := range scales {
+		scales[i] = sReg[rng.Intn(len(sReg))]
+	}
+	return parallel.MapWorkers(len(frames), det.Clone, func(d *rfcn.Detector, i int) Label {
+		f := frames[i]
+		mOpt, _ := scaleopt.OptimalScale(d, f, sReg, scaleopt.DefaultLambda)
+		m := scales[i]
+		return Label{
 			Frame:      f,
 			InputScale: m,
 			OptScale:   mOpt,
 			Target:     EncodeTarget(m, mOpt),
-			Features:   det.Features(f, m),
-		})
-	}
-	return labels
+			Features:   d.Features(f, m),
+		}
+	})
 }
 
 // GenerateLabelsAllScales is a densified variant of GenerateLabels: every
@@ -51,19 +58,28 @@ func GenerateLabels(det *rfcn.Detector, frames []*synth.Frame, sReg []int, rng *
 // synthetic corpus far smaller than ImageNet VID, enumerating the scales
 // provides the same coverage of "the dynamics between 600 and 128" with
 // less variance.
+// Frames are processed in parallel with per-worker detector clones and the
+// per-frame label groups concatenated in frame order, matching the
+// historical serial loop exactly.
 func GenerateLabelsAllScales(det *rfcn.Detector, frames []*synth.Frame, sReg []int) []Label {
-	labels := make([]Label, 0, len(frames)*len(sReg))
-	for _, f := range frames {
-		mOpt, _ := scaleopt.OptimalScale(det, f, sReg, scaleopt.DefaultLambda)
+	perFrame := parallel.MapWorkers(len(frames), det.Clone, func(d *rfcn.Detector, i int) []Label {
+		f := frames[i]
+		mOpt, _ := scaleopt.OptimalScale(d, f, sReg, scaleopt.DefaultLambda)
+		group := make([]Label, 0, len(sReg))
 		for _, m := range sReg {
-			labels = append(labels, Label{
+			group = append(group, Label{
 				Frame:      f,
 				InputScale: m,
 				OptScale:   mOpt,
 				Target:     EncodeTarget(m, mOpt),
-				Features:   det.Features(f, m),
+				Features:   d.Features(f, m),
 			})
 		}
+		return group
+	})
+	labels := make([]Label, 0, len(frames)*len(sReg))
+	for _, group := range perFrame {
+		labels = append(labels, group...)
 	}
 	return labels
 }

@@ -83,6 +83,16 @@ func (b *Backbone) installEdgeFilters() {
 	b.conv1.Bias.W.Zero()
 }
 
+// Clone returns an independent backbone with identical (frozen) weights
+// and empty activation caches, safe to use from another goroutine.
+func (b *Backbone) Clone() *Backbone {
+	return &Backbone{
+		conv1: b.conv1.Clone(),
+		conv2: b.conv2.Clone(),
+		conv3: b.conv3.Clone(),
+	}
+}
+
 // Extract converts a rendered grayscale image to a backboneChannels×h×w
 // appearance feature map, where h ≈ H/8 and w ≈ W/8 of the input image.
 // Detector.Features stacks the detection-response planes on top.

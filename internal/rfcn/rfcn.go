@@ -70,6 +70,20 @@ func NewMS(data *synth.Config) *Detector { return New(data, []int{600, 480, 360,
 // MultiScale reports whether the detector was multi-scale trained.
 func (d *Detector) MultiScale() bool { return len(d.TrainScales) > 1 }
 
+// Clone returns an independent detector producing identical outputs. The
+// backbone (whose conv layers cache activations between calls) and the
+// training-scale set are deep-copied; the dataset configuration is shared,
+// as it is immutable after generation. Detect is read-only and safe to
+// share, but DetectWithFeatures and Features drive the backbone — the
+// parallel dataset runner therefore gives every worker its own clone.
+func (d *Detector) Clone() *Detector {
+	return &Detector{
+		Data:        d.Data,
+		TrainScales: append([]int(nil), d.TrainScales...),
+		backbone:    d.backbone.Clone(),
+	}
+}
+
 // RawDetection is a pre-evaluation detection with the classifier's
 // probability vector (index 0 = background, 1+c = class c) retained for the
 // loss-based optimal-scale metric.

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"adascale/internal/detect"
+	"adascale/internal/parallel"
 	"adascale/internal/raster"
 )
 
@@ -163,23 +164,33 @@ func Frames(snippets []Snippet) []*Frame {
 // Generate builds a dataset with the requested number of train and val
 // snippets. Snippet classes cycle round-robin with jitter so every class is
 // represented in both splits when counts permit.
+//
+// Each snippet's scene randomness comes from its own generator seeded by
+// (dataset seed, snippet ID), so snippets are independent and generation
+// fans out across the worker pool with deterministic, ID-ordered output:
+// the same config always produces the same dataset at any worker count.
 func Generate(cfg Config, trainSnippets, valSnippets int) (*Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	ds := &Dataset{Config: cfg}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	id := 0
-	for i := 0; i < trainSnippets; i++ {
-		ds.Train = append(ds.Train, genSnippet(&cfg, rng, id, i%len(cfg.Classes)))
-		id++
-	}
-	for i := 0; i < valSnippets; i++ {
-		ds.Val = append(ds.Val, genSnippet(&cfg, rng, id, i%len(cfg.Classes)))
-		id++
-	}
+	n := trainSnippets + valSnippets
+	snippets := parallel.Map(n, func(id int) Snippet {
+		split := id // index within the train split
+		if id >= trainSnippets {
+			split = id - trainSnippets
+		}
+		rng := rand.New(rand.NewSource(snippetSeed(cfg.Seed, id)))
+		return genSnippet(&cfg, rng, id, split%len(cfg.Classes))
+	})
+	ds.Train = snippets[:trainSnippets:trainSnippets]
+	ds.Val = snippets[trainSnippets:]
 	return ds, nil
 }
+
+// snippetSeed derives the per-snippet generator seed; the distinct frame
+// tag keeps it independent of every frameSeed stream.
+func snippetSeed(base int64, id int) int64 { return frameSeed(base, id, -1337) }
 
 // genSnippet generates one snippet whose primary object has the given
 // class; secondary objects draw random classes.

@@ -1,6 +1,42 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"adascale/internal/parallel"
+)
+
+// parallelThreshold is the approximate multiply-add count above which the
+// matrix kernels tile their output rows across workers. Below it, goroutine
+// startup and synchronisation dominate the arithmetic; the regressor's tiny
+// fully-connected products stay serial while the im2col convolutions of the
+// backbone cross the threshold comfortably.
+const parallelThreshold = 1 << 18
+
+// rowChunks decides how a kernel with m output rows and flops multiply-adds
+// is split: it returns the number of contiguous row chunks to fan out, or 0
+// to stay serial. Each output element is always computed by exactly one
+// worker in the same inner-loop order as the serial kernel, so the parallel
+// result is bit-identical to the serial one for any worker count.
+func rowChunks(m int, flops int64) int {
+	w := parallel.Workers()
+	if w <= 1 || m < 2 || flops < parallelThreshold {
+		return 0
+	}
+	if w > m {
+		w = m
+	}
+	return w
+}
+
+// forEachRowChunk runs body over chunks contiguous row ranges of [0, m).
+func forEachRowChunk(chunks, m int, body func(i0, i1 int)) {
+	if err := parallel.ForEachN(chunks, chunks, func(c int) {
+		body(c*m/chunks, (c+1)*m/chunks)
+	}); err != nil {
+		panic(err)
+	}
+}
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), returning a
 // new m×n tensor. The inner loop is ordered i-k-j so B is traversed
@@ -12,7 +48,8 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes dst = A·B, reusing dst's storage. dst must be m×n and
-// is overwritten. It panics on shape mismatch.
+// is overwritten. It panics on shape mismatch. Large products are row-tiled
+// across workers (see rowChunks); output values are identical either way.
 func MatMulInto(dst, a, b *Tensor) {
 	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires 2-D tensors, got %v · %v -> %v", a.shape, b.shape, dst.shape))
@@ -22,11 +59,21 @@ func MatMulInto(dst, a, b *Tensor) {
 	if k != k2 || dst.Dim(0) != m || dst.Dim(1) != n {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v · %v -> %v", a.shape, b.shape, dst.shape))
 	}
+	if chunks := rowChunks(m, int64(m)*int64(k)*int64(n)); chunks > 0 {
+		forEachRowChunk(chunks, m, func(i0, i1 int) { matMulRows(dst, a, b, i0, i1) })
+		return
+	}
+	matMulRows(dst, a, b, 0, m)
+}
+
+// matMulRows computes rows [i0, i1) of dst = A·B, zeroing them first.
+func matMulRows(dst, a, b *Tensor, i0, i1 int) {
+	k, n := a.Dim(1), b.Dim(1)
 	ad, bd, cd := a.data, b.data, dst.data
-	for i := range cd {
+	for i := i0 * n; i < i1*n; i++ {
 		cd[i] = 0
 	}
-	for i := 0; i < m; i++ {
+	for i := i0; i < i1; i++ {
 		arow := ad[i*k : (i+1)*k]
 		crow := cd[i*n : (i+1)*n]
 		for p, av := range arow {
@@ -53,11 +100,26 @@ func MatMulATB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch %v vs %v", a.shape, b.shape))
 	}
 	c := New(m, n)
+	if chunks := rowChunks(m, int64(m)*int64(k)*int64(n)); chunks > 0 {
+		forEachRowChunk(chunks, m, func(i0, i1 int) { matMulATBRows(c, a, b, i0, i1) })
+		return c
+	}
+	matMulATBRows(c, a, b, 0, m)
+	return c
+}
+
+// matMulATBRows computes output rows [i0, i1) of C = Aᵀ·B. The p (inner
+// dimension) loop stays outermost exactly as in the historical serial
+// kernel, so per-element accumulation order is unchanged.
+func matMulATBRows(c, a, b *Tensor, i0, i1 int) {
+	k, m := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
 	ad, bd, cd := a.data, b.data, c.data
 	for p := 0; p < k; p++ {
 		arow := ad[p*m : (p+1)*m]
 		brow := bd[p*n : (p+1)*n]
-		for i, av := range arow {
+		for i := i0; i < i1; i++ {
+			av := arow[i]
 			if av == 0 {
 				continue
 			}
@@ -67,7 +129,6 @@ func MatMulATB(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return c
 }
 
 // MatMulABT computes C = A·Bᵀ for A (m×k) and B (n×k), returning m×n.
@@ -81,8 +142,20 @@ func MatMulABT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch %v vs %v", a.shape, b.shape))
 	}
 	c := New(m, n)
+	if chunks := rowChunks(m, int64(m)*int64(k)*int64(n)); chunks > 0 {
+		forEachRowChunk(chunks, m, func(i0, i1 int) { matMulABTRows(c, a, b, i0, i1) })
+		return c
+	}
+	matMulABTRows(c, a, b, 0, m)
+	return c
+}
+
+// matMulABTRows computes rows [i0, i1) of C = A·Bᵀ as plain dot products.
+func matMulABTRows(c, a, b *Tensor, i0, i1 int) {
+	k := a.Dim(1)
+	n := b.Dim(0)
 	ad, bd, cd := a.data, b.data, c.data
-	for i := 0; i < m; i++ {
+	for i := i0; i < i1; i++ {
 		arow := ad[i*k : (i+1)*k]
 		crow := cd[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
@@ -94,7 +167,6 @@ func MatMulABT(a, b *Tensor) *Tensor {
 			crow[j] = s
 		}
 	}
-	return c
 }
 
 // Transpose2D returns the transpose of a 2-D tensor as a new tensor.

@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"adascale/internal/parallel"
+)
+
+// fillRand populates t with reproducible values, including exact zeros so
+// the skip-zero fast path is exercised.
+func fillRand(t *Tensor, rng *rand.Rand) {
+	d := t.Data()
+	for i := range d {
+		if rng.Intn(8) == 0 {
+			d[i] = 0
+			continue
+		}
+		d[i] = float32(rng.NormFloat64())
+	}
+}
+
+// TestMatMulParallelMatchesSerial asserts the tiled kernels are
+// bit-identical to the serial ones across worker counts and across the
+// parallel-threshold boundary.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	rng := rand.New(rand.NewSource(11))
+	shapes := [][3]int{
+		{3, 5, 7},      // tiny, below threshold
+		{8, 9, 10000},  // backbone conv1 shape class
+		{8, 144, 700},  // regressor 3x3 branch shape class
+		{64, 64, 512},  // above threshold, even split
+		{37, 53, 301},  // odd sizes, uneven chunks
+		{2, 4096, 64},  // m smaller than workers
+		{1, 2048, 512}, // single row: must stay serial
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := New(m, k)
+		b := New(k, n)
+		at := New(k, m) // for ATB
+		bt := New(n, k) // for ABT
+		fillRand(a, rng)
+		fillRand(b, rng)
+		fillRand(at, rng)
+		fillRand(bt, rng)
+
+		parallel.SetWorkers(1)
+		ab := MatMul(a, b)
+		atb := MatMulATB(at, b)
+		abt := MatMulABT(a, bt)
+
+		for _, workers := range []int{2, 4, 7} {
+			parallel.SetWorkers(workers)
+			check := func(name string, want, got *Tensor) {
+				t.Helper()
+				if !want.SameShape(got) {
+					t.Fatalf("%s %v workers=%d: shape %v vs %v", name, sh, workers, want.Shape(), got.Shape())
+				}
+				wd, gd := want.Data(), got.Data()
+				for i := range wd {
+					if wd[i] != gd[i] {
+						t.Fatalf("%s %v workers=%d: element %d = %v, want %v (must be bit-identical)",
+							name, sh, workers, i, gd[i], wd[i])
+					}
+				}
+			}
+			check("MatMul", ab, MatMul(a, b))
+			check("MatMulATB", atb, MatMulATB(at, b))
+			check("MatMulABT", abt, MatMulABT(a, bt))
+		}
+		parallel.SetWorkers(0)
+	}
+}
+
+func TestMatMulIntoParallelOverwritesDst(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(4)
+	a := Full(1, 64, 128)
+	b := Full(1, 128, 64)
+	dst := Full(999, 64, 64)
+	MatMulInto(dst, a, b)
+	for i, v := range dst.Data() {
+		if v != 128 {
+			t.Fatalf("dst[%d] = %v, want 128 (stale values not overwritten)", i, v)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 gate (same contract as `make check`): gofmt cleanliness, vet,
+# build, and the full test suite under the race detector. The race run
+# matters because RunDataset, label generation and snippet synthesis all
+# fan out across the worker pool by default.
+set -eu
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+# -timeout covers the heavy experiment harnesses on small machines: the
+# race detector slows the regressor-training loops by ~10x.
+go test -race -timeout 60m ./...
+echo "tier-1 gate: OK"
