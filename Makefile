@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench fuzz-smoke
 
-check: fmt vet build race
+check: fmt vet build race fuzz-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -32,3 +32,10 @@ race:
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem .
+
+# Brief randomized fuzzing on top of the committed seed corpus (the seeds
+# themselves already run as regular tests). `go test -fuzz` accepts one
+# target per invocation, hence one line per harness.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=^FuzzNMS$$ -fuzztime=5s ./internal/detect
+	$(GO) test -run=^$$ -fuzz=^FuzzEvaluate$$ -fuzztime=5s ./internal/eval

@@ -37,6 +37,7 @@ import (
 	"adascale/internal/detect"
 	"adascale/internal/dff"
 	"adascale/internal/eval"
+	"adascale/internal/faults"
 	"adascale/internal/parallel"
 	"adascale/internal/raster"
 	"adascale/internal/regressor"
@@ -190,6 +191,67 @@ func RandomRunner(det *Detector, scales []int, seed int64) RunnerFactory {
 // SharedRunner adapts a goroutine-safe runner into a RunnerFactory without
 // cloning anything.
 func SharedRunner(run SnippetRunner) RunnerFactory { return adascale.SharedRunner(run) }
+
+// Fault injection and graceful degradation.
+type (
+	// FaultConfig parameterises the deterministic fault injector: per-frame
+	// rates for dropped, stale, blacked-out, overexposed, noisy and
+	// time-jittered frames.
+	FaultConfig = faults.Config
+	// Fault tags an injected sensor fault on a frame.
+	Fault = synth.Fault
+	// FaultKind enumerates the fault taxonomy.
+	FaultKind = synth.FaultKind
+	// ResilientConfig tunes the degradation ladder.
+	ResilientConfig = adascale.ResilientConfig
+	// Health is one frame's fault/degradation accounting.
+	Health = adascale.Health
+	// HealthSummary aggregates Health records over an output stream.
+	HealthSummary = adascale.HealthSummary
+	// Fallback identifies a degradation-ladder rung.
+	Fallback = adascale.Fallback
+	// SnippetError reports a snippet recovered from a runner panic.
+	SnippetError = adascale.SnippetError
+)
+
+// MixedFaults splits a total per-frame fault rate evenly across the fault
+// taxonomy (the standard robustness-sweep configuration).
+func MixedFaults(rate float64, seed int64) FaultConfig { return faults.Mixed(rate, seed) }
+
+// Inject returns a deep copy of the snippets with deterministic, seeded
+// faults applied: same seed and config give a bit-identical stream at any
+// worker count. Frame ground truth is preserved (synth.Frame.GroundTruth),
+// so injected streams evaluate against reality.
+func Inject(snippets []Snippet, cfg FaultConfig) ([]Snippet, error) {
+	return faults.Inject(snippets, cfg)
+}
+
+// DefaultResilientConfig returns the standard degradation-ladder tuning.
+func DefaultResilientConfig() ResilientConfig { return adascale.DefaultResilientConfig() }
+
+// RunResilient runs Algorithm 1 over a snippet behind the degradation
+// ladder: sensor-observable faults propagate last-good detections,
+// invalid regressor predictions fall back to the last good scale, and an
+// optional per-frame deadline (ResilientConfig.DeadlineMS) forces lower
+// test scales when the rolling budget is exceeded.
+func RunResilient(det *Detector, reg *Regressor, sn *Snippet, cfg ResilientConfig) []FrameOutput {
+	return adascale.RunResilient(det, reg, sn, cfg)
+}
+
+// ResilientRunner returns a per-worker factory for the resilient pipeline.
+func ResilientRunner(det *Detector, reg *Regressor, cfg ResilientConfig) RunnerFactory {
+	return adascale.ResilientRunner(det, reg, cfg)
+}
+
+// Summarize folds per-frame Health records into a HealthSummary.
+func Summarize(outputs []FrameOutput) HealthSummary { return adascale.Summarize(outputs) }
+
+// RunDatasetPartial is RunDataset with panic recovery: a snippet whose
+// runner panics is reported as a SnippetError and emitted as explicit
+// placeholder frames instead of taking down the whole run.
+func RunDatasetPartial(snippets []Snippet, factory RunnerFactory) ([]FrameOutput, []SnippetError) {
+	return adascale.RunDatasetPartial(snippets, factory)
+}
 
 // DFFRunner returns a per-worker factory for fixed-scale DFF.
 func DFFRunner(det *Detector, keyScale int, cfg DFFConfig) RunnerFactory {

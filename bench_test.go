@@ -301,7 +301,9 @@ func BenchmarkOpticalFlow(b *testing.B) {
 	cur := benchDS.Val[0].Frames[1].Render(90, 8000, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		flow.Estimate(prev, cur, 8, 8)
+		if _, err := flow.Estimate(prev, cur, 8, 8); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

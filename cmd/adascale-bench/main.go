@@ -4,16 +4,20 @@
 // Usage:
 //
 //	adascale-bench [-dataset vid|ytbb] [-exp all|table1,table2,...] \
-//	               [-train N] [-val N] [-seed N] [-workers N]
+//	               [-train N] [-val N] [-seed N] [-workers N] \
+//	               [-faults 0,0.05,0.1,0.2] [-deadline-ms 0]
 //
 // Experiments: table1, table2, table3, fig5, fig6, fig7, fig9, fig10,
-// qualitative.
+// qualitative, robustness. The robustness sweep injects the -faults rates
+// into the validation split and compares fixed-scale, naive AdaScale and
+// the resilient runner (optionally deadline-constrained via -deadline-ms).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -28,8 +32,16 @@ func main() {
 	val := flag.Int("val", 30, "validation snippets")
 	seed := flag.Int64("seed", 5, "dataset seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	faultRates := flag.String("faults", "0,0.05,0.1,0.2", "fault rates for the robustness sweep")
+	deadlineMS := flag.Float64("deadline-ms", 0, "per-frame deadline for the resilient runner (0 = off)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+
+	rates, err := parseRates(*faultRates)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adascale-bench:", err)
+		os.Exit(1)
+	}
 
 	cfg := experiments.Config{
 		Dataset:       *dataset,
@@ -68,4 +80,28 @@ func main() {
 	run("fig7", func() { b.Fig7().Print(w) })
 	run("fig9", func() { b.Fig9().Print(w) })
 	run("fig10", func() { b.Fig10().Print(w) })
+	run("robustness", func() {
+		res, err := b.Robustness(rates, *deadlineMS)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adascale-bench:", err)
+			os.Exit(1)
+		}
+		res.Print(w)
+	})
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault-rate list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

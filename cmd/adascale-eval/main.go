@@ -5,7 +5,13 @@
 // Usage:
 //
 //	adascale-eval [-dataset vid|ytbb] [-train N] [-val N] [-seed N] \
-//	              [-weights weights.bin] [-workers N]
+//	              [-weights weights.bin] [-workers N] \
+//	              [-faults 0.1] [-deadline-ms 0]
+//
+// With -faults > 0 the validation split is additionally corrupted with the
+// deterministic fault injector at that per-frame rate and the protocols
+// are compared against the resilient runner on the corrupted stream
+// (-deadline-ms enables its per-frame deadline).
 package main
 
 import (
@@ -24,6 +30,8 @@ func main() {
 	seed := flag.Int64("seed", 5, "dataset seed")
 	weights := flag.String("weights", "", "optional regressor weights from adascale-train")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	faultRate := flag.Float64("faults", 0, "per-frame fault rate for the robustness comparison (0 = off)")
+	deadlineMS := flag.Float64("deadline-ms", 0, "per-frame deadline for the resilient runner (0 = off)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
@@ -59,5 +67,15 @@ func main() {
 	fmt.Println()
 	for _, r := range rows {
 		fmt.Printf("%-12s %8.1f %12.1f %12.0f\n", r.Name, r.MAP*100, r.RuntimeMS, r.MeanScale)
+	}
+
+	if *faultRate > 0 || *deadlineMS > 0 {
+		fmt.Println()
+		res, err := b.Robustness([]float64{0, *faultRate}, *deadlineMS)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adascale-eval:", err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
 	}
 }

@@ -7,7 +7,13 @@
 //
 //	adascale-train [-dataset vid|ytbb] [-train N] [-seed N] \
 //	               [-kernels 1,3] [-epochs 2] [-lr 0.01] [-o weights.bin] \
-//	               [-workers N]
+//	               [-workers N] [-faults 0] [-deadline-ms 0]
+//
+// With -faults > 0 a post-training smoke check runs the freshly trained
+// system through the resilient pipeline on a small fault-injected split
+// and prints its health summary — a quick sanity gate that the system
+// degrades gracefully before the weights ship (-deadline-ms adds the
+// per-frame deadline).
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strings"
 
 	"adascale/internal/adascale"
+	"adascale/internal/faults"
 	"adascale/internal/parallel"
 	"adascale/internal/synth"
 )
@@ -31,6 +38,8 @@ func main() {
 	lr := flag.Float64("lr", 0.01, "base learning rate")
 	out := flag.String("o", "adascale-regressor.bin", "output weights file")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	faultRate := flag.Float64("faults", 0, "fault rate for the post-training resilience smoke check (0 = off)")
+	deadlineMS := flag.Float64("deadline-ms", 0, "per-frame deadline for the smoke check (0 = off)")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
@@ -77,6 +86,39 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("trained %v, weights saved to %s\n", sys.Regressor, *out)
+
+	if *faultRate > 0 || *deadlineMS > 0 {
+		if err := resilienceSmoke(sys, cfg, *faultRate, *deadlineMS); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// resilienceSmoke runs the freshly trained system through the resilient
+// pipeline on a small fault-injected split and prints the degradation
+// accounting — the last gate before the weights are considered usable.
+func resilienceSmoke(sys *adascale.System, cfg synth.Config, rate, deadlineMS float64) error {
+	ds, err := synth.Generate(cfg, 0, 8)
+	if err != nil {
+		return err
+	}
+	val, err := faults.Inject(ds.Val, faults.Mixed(rate, cfg.Seed+977))
+	if err != nil {
+		return err
+	}
+	rcfg := adascale.DefaultResilientConfig()
+	rcfg.DeadlineMS = deadlineMS
+	outs, errs := adascale.RunDatasetPartial(val, adascale.ResilientRunner(sys.Detector, sys.Regressor, rcfg))
+	for _, e := range errs {
+		fmt.Printf("smoke check: recovered %v\n", e)
+	}
+	s := adascale.Summarize(outs)
+	fmt.Printf("resilience smoke (rate %.2f, deadline %.0f ms): %v\n", rate, deadlineMS, s)
+	if s.Unaccounted > 0 {
+		return fmt.Errorf("resilience smoke check failed: %d unaccounted frames", s.Unaccounted)
+	}
+	fmt.Println("resilience smoke: OK")
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -33,6 +33,10 @@ type FrameOutput struct {
 	// per-frame cost (scale regressor, flow, Seq-NMS post-processing).
 	DetectorMS float64
 	OverheadMS float64
+
+	// Health records the frame's fault/degradation accounting (resilient.go).
+	// The zero value means "clean frame, no fallback".
+	Health Health
 }
 
 // TotalMS returns the frame's full modelled runtime.

@@ -1,0 +1,428 @@
+package adascale
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"adascale/internal/detect"
+	"adascale/internal/regressor"
+	"adascale/internal/rfcn"
+	"adascale/internal/simclock"
+	"adascale/internal/synth"
+)
+
+// This file is the graceful-degradation wrapper around Algorithm 1. The
+// plain AdaScale loop assumes a pristine camera feed and a well-behaved
+// regressor; deployed vision systems get neither. RunResilient keeps
+// producing detections — degraded, not absent — through a fixed fallback
+// order (the degradation ladder):
+//
+//  1. Sensor-observable faults (dropped / stale / blacked-out frames, see
+//     synth.Fault.SensorObservable) never reach the detector: the last
+//     good detections are propagated with a confidence decay.
+//  2. A detector pass that comes back empty on a degraded frame
+//     (overexposure, noise burst) also propagates the last good
+//     detections instead of emitting nothing.
+//  3. Every regressor prediction is validated: out-of-range t is clamped;
+//     a non-finite t falls back to the last scale that produced
+//     detections, then to the InitialScale default.
+//  4. A per-frame deadline (modelled runtime, internal/simclock.Budget)
+//     forces the next-lower test scale while the rolling budget is
+//     exceeded, and relaxes one rung at a time when headroom returns.
+//  5. A panicking snippet runner is recovered into a structured error with
+//     placeholder outputs (RunDatasetPartial), so partial results survive.
+//
+// Every frame carries a Health record, so no frame is ever emitted without
+// detections or explicit degradation accounting.
+
+// Fallback identifies which rung of the degradation ladder produced a
+// frame's output.
+type Fallback uint8
+
+const (
+	// FallbackNone: the normal detect→regress path ran.
+	FallbackNone Fallback = iota
+
+	// FallbackPropagate: last-good detections were propagated in place of
+	// running the detector on garbage (or in place of an empty result on a
+	// degraded frame).
+	FallbackPropagate
+
+	// FallbackEmpty: propagation was wanted but there were no last-good
+	// detections (or the propagation horizon was exhausted); the frame
+	// explicitly emits no detections.
+	FallbackEmpty
+
+	// FallbackLastScale: the regressor prediction was invalid and the next
+	// frame reuses the last scale that produced detections.
+	FallbackLastScale
+
+	// FallbackDefaultScale: the prediction was invalid with no last-good
+	// scale to fall back to; the next frame uses InitialScale.
+	FallbackDefaultScale
+
+	// FallbackPanic: the snippet runner panicked; this is a recovered
+	// placeholder output (RunDatasetPartial).
+	FallbackPanic
+
+	numFallbacks
+)
+
+// NumFallbacks sizes per-rung counter arrays.
+const NumFallbacks = int(numFallbacks)
+
+// String names the fallback rung for reports.
+func (f Fallback) String() string {
+	switch f {
+	case FallbackNone:
+		return "none"
+	case FallbackPropagate:
+		return "propagate"
+	case FallbackEmpty:
+		return "empty"
+	case FallbackLastScale:
+		return "last-scale"
+	case FallbackDefaultScale:
+		return "default-scale"
+	case FallbackPanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("fallback(%d)", uint8(f))
+	}
+}
+
+// Health is one frame's fault and degradation accounting.
+type Health struct {
+	// Fault is the injected fault observed on the frame (synth.FaultNone
+	// for a clean frame).
+	Fault synth.FaultKind
+
+	// Fallback is the degradation-ladder rung that produced the output.
+	Fallback Fallback
+
+	// Propagated marks detections carried over from the last good frame.
+	Propagated bool
+
+	// PredictionClamped marks an invalid (non-finite or out-of-range)
+	// regressor prediction that was clamped or replaced.
+	PredictionClamped bool
+
+	// DeadlineForced marks a frame whose test scale was forced down by the
+	// per-frame deadline budget.
+	DeadlineForced bool
+
+	// RecoveredAfter is set on the first content-clean frame after a run
+	// of degraded frames: the length of that run (frames-to-recover).
+	RecoveredAfter int
+}
+
+// Degraded reports whether the frame needed any rung of the ladder.
+func (h Health) Degraded() bool {
+	return h.Fault != synth.FaultNone || h.Fallback != FallbackNone ||
+		h.Propagated || h.PredictionClamped || h.DeadlineForced
+}
+
+// ResilientConfig tunes the degradation ladder.
+type ResilientConfig struct {
+	// DeadlineMS is the per-frame modelled-runtime deadline; 0 disables
+	// deadline enforcement.
+	DeadlineMS float64
+
+	// BudgetWindow is the rolling window (frames) of the deadline budget;
+	// 0 means 8.
+	BudgetWindow int
+
+	// PropagateDecay is the per-propagated-frame confidence decay applied
+	// to carried-over detections; 0 means 0.9.
+	PropagateDecay float64
+
+	// MaxPropagate bounds consecutive propagated frames before the ladder
+	// gives up and emits an explicitly-empty frame (stale detections
+	// eventually do more harm than good); 0 means 12.
+	MaxPropagate int
+}
+
+// DefaultResilientConfig returns the standard ladder tuning.
+func DefaultResilientConfig() ResilientConfig {
+	return ResilientConfig{PropagateDecay: 0.9, BudgetWindow: 8, MaxPropagate: 12}
+}
+
+func (c ResilientConfig) withDefaults() ResilientConfig {
+	if c.BudgetWindow <= 0 {
+		c.BudgetWindow = 8
+	}
+	if c.PropagateDecay <= 0 || c.PropagateDecay > 1 {
+		c.PropagateDecay = 0.9
+	}
+	if c.MaxPropagate <= 0 {
+		c.MaxPropagate = 12
+	}
+	return c
+}
+
+// deadlineLadder is the scale ladder the deadline enforcement walks — the
+// paper's S_reg test-scale set, descending.
+var deadlineLadder = []int{600, 480, 360, 240, 128}
+
+// nextLowerScale returns the largest ladder scale strictly below s (s if
+// already at the bottom).
+func nextLowerScale(s int) int {
+	for _, v := range deadlineLadder {
+		if v < s {
+			return v
+		}
+	}
+	return s
+}
+
+// nextHigherScale returns the smallest ladder scale strictly above s (s if
+// already at the top).
+func nextHigherScale(s int) int {
+	for i := len(deadlineLadder) - 1; i >= 0; i-- {
+		if deadlineLadder[i] > s {
+			return deadlineLadder[i]
+		}
+	}
+	return s
+}
+
+// RunResilient runs Algorithm 1 over a snippet with the degradation
+// ladder. With a clean stream, a finite regressor and no deadline it emits
+// exactly what RunAdaScale emits (pinned by test), so resilience costs
+// nothing when nothing goes wrong.
+func RunResilient(det *rfcn.Detector, reg *regressor.Regressor, sn *synth.Snippet, cfg ResilientConfig) []FrameOutput {
+	cfg = cfg.withDefaults()
+	overhead := simclock.RegressorMS(reg.Kernels)
+	budget := simclock.NewBudget(cfg.DeadlineMS, cfg.BudgetWindow)
+	outputs := make([]FrameOutput, 0, len(sn.Frames))
+
+	targetScale := InitialScale
+	scaleCap := regressor.MaxScale // deadline enforcement lowers this
+	lastGoodScale := 0             // last scale that produced detections (0 = none yet)
+	var lastDets []detect.Detection
+	propagated := 0  // consecutive propagated frames
+	degradedRun := 0 // consecutive content-degraded frames (frames-to-recover)
+
+	propagate := func(h *Health) []detect.Detection {
+		if len(lastDets) == 0 || propagated >= cfg.MaxPropagate {
+			h.Fallback = FallbackEmpty
+			propagated++
+			return nil
+		}
+		propagated++
+		decay := math.Pow(cfg.PropagateDecay, float64(propagated))
+		out := make([]detect.Detection, len(lastDets))
+		for i, d := range lastDets {
+			d.Score *= decay
+			out[i] = d
+		}
+		h.Fallback = FallbackPropagate
+		h.Propagated = true
+		return out
+	}
+
+	for i := range sn.Frames {
+		f := &sn.Frames[i]
+		var h Health
+		var jitterMS float64
+		if f.Fault != nil {
+			h.Fault = f.Fault.Kind
+			jitterMS = f.Fault.JitterMS
+		}
+
+		// Rung 4: deadline enforcement. While the rolling budget is
+		// exceeded, tighten the scale cap one rung; relax one rung only
+		// with wide headroom (> 50% of the deadline) — the asymmetric
+		// hysteresis keeps the cap from oscillating across a rung whose
+		// cost sits just under the deadline.
+		if cfg.DeadlineMS > 0 {
+			if budget.Exceeded() {
+				scaleCap = nextLowerScale(scaleCap)
+			} else if budget.Headroom() > 0.5*cfg.DeadlineMS && scaleCap < regressor.MaxScale {
+				scaleCap = nextHigherScale(scaleCap)
+			}
+		}
+		applied := targetScale
+		if applied > scaleCap {
+			applied = scaleCap
+			h.DeadlineForced = true
+		}
+
+		// Rung 1: sensor-observable faults never reach the detector; the
+		// frame costs only the fixed per-frame bookkeeping.
+		if f.Fault.SensorObservable() {
+			dets := propagate(&h)
+			degradedRun++
+			cost := simclock.DetectorBaseMS
+			budget.Charge(cost + jitterMS)
+			outputs = append(outputs, FrameOutput{
+				Frame: f, Scale: applied,
+				Detections: dets,
+				DetectorMS: cost,
+				Health:     h,
+			})
+			continue
+		}
+
+		r := det.DetectWithFeatures(f, applied)
+		dets := r.PlainDetections()
+
+		// Rung 3: validate the prediction for the next frame before
+		// emitting, so the fallback is visible on the frame that caused
+		// it. Out-of-range t is normal operation (DecodeScale clips it,
+		// Eq. 3); only a non-finite prediction is a fault.
+		t := reg.Forward(r.Features)
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			h.PredictionClamped = true
+			if lastGoodScale > 0 {
+				h.Fallback = FallbackLastScale
+				targetScale = lastGoodScale
+			} else {
+				h.Fallback = FallbackDefaultScale
+				targetScale = InitialScale
+			}
+		} else {
+			targetScale = regressor.DecodeScale(t, applied)
+		}
+
+		// Rung 2: an empty result propagates rather than emitting nothing
+		// when the frame is content-degraded, or when we were tracking
+		// objects a moment ago (detector flicker: in continuous video a
+		// sudden empty set after non-empty ones is itself a fault signal).
+		if len(dets) == 0 && (f.Fault.ContentFault() || len(lastDets) > 0) {
+			dets = propagate(&h)
+		} else if len(dets) > 0 {
+			lastDets = dets
+			lastGoodScale = applied
+			propagated = 0
+		}
+
+		if f.Fault.ContentFault() {
+			degradedRun++
+		} else {
+			if degradedRun > 0 {
+				h.RecoveredAfter = degradedRun
+			}
+			degradedRun = 0
+		}
+
+		budget.Charge(r.RuntimeMS + overhead + jitterMS)
+		outputs = append(outputs, FrameOutput{
+			Frame: f, Scale: applied,
+			Detections: dets,
+			DetectorMS: r.RuntimeMS,
+			OverheadMS: overhead,
+			Health:     h,
+		})
+	}
+	return outputs
+}
+
+// ResilientRunner returns a factory for the resilient pipeline; detector
+// and regressor are cloned per worker like AdaScaleRunner.
+func ResilientRunner(det *rfcn.Detector, reg *regressor.Regressor, cfg ResilientConfig) RunnerFactory {
+	return func() SnippetRunner {
+		d, r := det.Clone(), reg.Clone()
+		return func(sn *synth.Snippet) []FrameOutput { return RunResilient(d, r, sn, cfg) }
+	}
+}
+
+// HealthSummary aggregates Health records over an output stream. It is a
+// pure fold over the ordered stream, so for a deterministic runner it is
+// identical at any worker count. The struct is comparable with ==.
+type HealthSummary struct {
+	// Frames is the total frame count; Degraded counts frames that needed
+	// any ladder rung; WithDetections counts frames emitting ≥ 1 box.
+	Frames         int
+	Degraded       int
+	WithDetections int
+
+	// FaultCounts counts frames per observed fault kind (FaultNone =
+	// clean); FallbackCounts counts frames per ladder rung.
+	FaultCounts    [synth.NumFaultKinds]int
+	FallbackCounts [NumFallbacks]int
+
+	// PredictionClamped and DeadlineForced count their Health flags.
+	PredictionClamped int
+	DeadlineForced    int
+
+	// Recoveries counts degraded→clean transitions; RecoveryFrames sums
+	// the lengths of the degraded runs they ended.
+	Recoveries     int
+	RecoveryFrames int
+
+	// Unaccounted counts frames that emitted no detections without any
+	// degradation accounting — zero by construction for RunResilient (the
+	// acceptance invariant), typically non-zero for naive runners on a
+	// faulted stream.
+	Unaccounted int
+}
+
+// Summarize folds the per-frame Health records of an output stream.
+func Summarize(outputs []FrameOutput) HealthSummary {
+	var s HealthSummary
+	for i := range outputs {
+		h := outputs[i].Health
+		s.Frames++
+		s.FaultCounts[h.Fault]++
+		s.FallbackCounts[h.Fallback]++
+		if h.Degraded() {
+			s.Degraded++
+		}
+		if h.PredictionClamped {
+			s.PredictionClamped++
+		}
+		if h.DeadlineForced {
+			s.DeadlineForced++
+		}
+		if h.RecoveredAfter > 0 {
+			s.Recoveries++
+			s.RecoveryFrames += h.RecoveredAfter
+		}
+		if len(outputs[i].Detections) > 0 {
+			s.WithDetections++
+		} else if !h.Degraded() && len(outputs[i].Frame.GroundTruth()) > 0 {
+			s.Unaccounted++
+		}
+	}
+	return s
+}
+
+// MeanRecoveryFrames returns the average length of a degraded run that
+// ended in recovery (0 when none ended).
+func (s HealthSummary) MeanRecoveryFrames() float64 {
+	if s.Recoveries == 0 {
+		return 0
+	}
+	return float64(s.RecoveryFrames) / float64(s.Recoveries)
+}
+
+// String renders the summary compactly for reports.
+func (s HealthSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frames=%d degraded=%d with-dets=%d", s.Frames, s.Degraded, s.WithDetections)
+	for k := 1; k < synth.NumFaultKinds; k++ {
+		if n := s.FaultCounts[k]; n > 0 {
+			fmt.Fprintf(&b, " %v=%d", synth.FaultKind(k), n)
+		}
+	}
+	for k := 1; k < NumFallbacks; k++ {
+		if n := s.FallbackCounts[k]; n > 0 {
+			fmt.Fprintf(&b, " fb/%v=%d", Fallback(k), n)
+		}
+	}
+	if s.PredictionClamped > 0 {
+		fmt.Fprintf(&b, " clamped=%d", s.PredictionClamped)
+	}
+	if s.DeadlineForced > 0 {
+		fmt.Fprintf(&b, " deadline-forced=%d", s.DeadlineForced)
+	}
+	if s.Recoveries > 0 {
+		fmt.Fprintf(&b, " recoveries=%d (mean %.1f frames)", s.Recoveries, s.MeanRecoveryFrames())
+	}
+	if s.Unaccounted > 0 {
+		fmt.Fprintf(&b, " UNACCOUNTED=%d", s.Unaccounted)
+	}
+	return b.String()
+}

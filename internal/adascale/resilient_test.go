@@ -1,0 +1,273 @@
+package adascale
+
+import (
+	"math"
+	"testing"
+
+	"adascale/internal/eval"
+	"adascale/internal/faults"
+	"adascale/internal/parallel"
+	"adascale/internal/regressor"
+	"adascale/internal/synth"
+)
+
+// faulted injects the standard mixed fault soup into the validation split.
+func faulted(t *testing.T, ds *synth.Dataset, rate float64, seed int64) []synth.Snippet {
+	t.Helper()
+	out, err := faults.Inject(ds.Val, faults.Mixed(rate, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestResilientMatchesAdaScaleOnCleanStream pins the "resilience is free"
+// contract: with no faults, a finite regressor and no deadline,
+// RunResilient follows exactly RunAdaScale's scale schedule and costs, and
+// emits identical detections on every frame where the detector produced
+// any — the only permitted divergence is bridging a detector flicker
+// (naive emits empty, resilient propagates with explicit accounting).
+func TestResilientMatchesAdaScaleOnCleanStream(t *testing.T) {
+	ds, sys := system(t)
+	for i := range ds.Val {
+		want := RunAdaScale(sys.Detector, sys.Regressor, &ds.Val[i])
+		got := RunResilient(sys.Detector, sys.Regressor, &ds.Val[i], DefaultResilientConfig())
+		if len(want) != len(got) {
+			t.Fatalf("snippet %d: %d outputs, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			w, g := want[j], got[j]
+			if w.Frame != g.Frame || w.Scale != g.Scale || w.DetectorMS != g.DetectorMS || w.OverheadMS != g.OverheadMS {
+				t.Fatalf("snippet %d frame %d: (scale %d, det %v, over %v), want (%d, %v, %v)",
+					i, j, g.Scale, g.DetectorMS, g.OverheadMS, w.Scale, w.DetectorMS, w.OverheadMS)
+			}
+			if len(w.Detections) == 0 {
+				if len(g.Detections) != 0 && !g.Health.Propagated {
+					t.Fatalf("snippet %d frame %d: unaccounted extra detections on a flickered frame", i, j)
+				}
+				continue
+			}
+			if len(w.Detections) != len(g.Detections) {
+				t.Fatalf("snippet %d frame %d: %d detections, want %d", i, j, len(g.Detections), len(w.Detections))
+			}
+			for k := range w.Detections {
+				if w.Detections[k] != g.Detections[k] {
+					t.Fatalf("snippet %d frame %d det %d: %+v, want %+v", i, j, k, g.Detections[k], w.Detections[k])
+				}
+			}
+			if g.Health.Degraded() {
+				t.Fatalf("snippet %d frame %d: degradation accounting %+v on a clean detected frame", i, j, g.Health)
+			}
+		}
+	}
+}
+
+// TestResilientSurvivesPoisonedRegressor poisons every regressor weight
+// with NaN: the ladder must keep the scale schedule in range (falling back
+// to the last good scale, then the 600 default) and keep detecting.
+func TestResilientSurvivesPoisonedRegressor(t *testing.T) {
+	ds, sys := system(t)
+	bad := sys.Regressor.Clone()
+	for _, p := range bad.Params() {
+		p.W.Fill(float32(math.NaN()))
+	}
+	outs := RunResilient(sys.Detector, bad, &ds.Val[0], DefaultResilientConfig())
+	clamped := 0
+	for i, o := range outs {
+		if o.Scale < regressor.MinScale || o.Scale > regressor.MaxScale {
+			t.Fatalf("frame %d: scale %d escaped [%d, %d]", i, o.Scale, regressor.MinScale, regressor.MaxScale)
+		}
+		if o.Scale != InitialScale {
+			t.Fatalf("frame %d: scale %d; a fully poisoned regressor must hold the default", i, o.Scale)
+		}
+		if o.Health.PredictionClamped {
+			clamped++
+			switch o.Health.Fallback {
+			case FallbackLastScale, FallbackDefaultScale:
+			default:
+				t.Fatalf("frame %d: clamped prediction with fallback %v", i, o.Health.Fallback)
+			}
+		}
+	}
+	if clamped != len(outs) {
+		t.Fatalf("%d/%d frames flagged PredictionClamped; NaN output should flag all", clamped, len(outs))
+	}
+	s := Summarize(outs)
+	if s.FallbackCounts[FallbackDefaultScale] == 0 || s.FallbackCounts[FallbackLastScale] == 0 {
+		t.Fatalf("expected both scale fallbacks to fire: %v", s)
+	}
+}
+
+// TestResilientAccountsEveryFrame is the acceptance invariant: under mixed
+// faults, no frame is emitted without detections or explicit degradation
+// accounting, and sensor-observable faults never reach the detector.
+func TestResilientAccountsEveryFrame(t *testing.T) {
+	ds, sys := system(t)
+	val := faulted(t, ds, 0.10, 99)
+	outs := RunDatasetSerial(val, ResilientRunner(sys.Detector, sys.Regressor, DefaultResilientConfig())())
+	s := Summarize(outs)
+	if s.Unaccounted != 0 {
+		t.Fatalf("%d unaccounted frames (no detections, no degradation record): %v", s.Unaccounted, s)
+	}
+	if s.Frames != len(outs) || s.Frames == 0 {
+		t.Fatalf("summary frames %d, outputs %d", s.Frames, len(outs))
+	}
+	for i, o := range outs {
+		f := o.Frame.Fault
+		if f.SensorObservable() {
+			if o.Health.Fallback != FallbackPropagate && o.Health.Fallback != FallbackEmpty {
+				t.Fatalf("frame %d: sensor fault %v handled by %v", i, f.Kind, o.Health.Fallback)
+			}
+			if o.DetectorMS > 10 {
+				t.Fatalf("frame %d: sensor-faulted frame charged %v ms — the detector ran on garbage", i, o.DetectorMS)
+			}
+		}
+		if o.Health.Fault != kindOf(f) {
+			t.Fatalf("frame %d: health fault %v, frame fault %v", i, o.Health.Fault, kindOf(f))
+		}
+	}
+	if s.Recoveries == 0 || s.MeanRecoveryFrames() <= 0 {
+		t.Fatalf("expected recovery accounting under 10%% faults: %v", s)
+	}
+}
+
+func kindOf(f *synth.Fault) synth.FaultKind {
+	if f == nil {
+		return synth.FaultNone
+	}
+	return f.Kind
+}
+
+// TestResilientDeterministicAcrossWorkers: same seed + config ⇒ identical
+// output stream and identical HealthSummary at any worker count.
+func TestResilientDeterministicAcrossWorkers(t *testing.T) {
+	ds, sys := system(t)
+	val := faulted(t, ds, 0.12, 7)
+	cfg := DefaultResilientConfig()
+	cfg.DeadlineMS = 60
+	factory := ResilientRunner(sys.Detector, sys.Regressor, cfg)
+	serial := RunDatasetSerial(val, factory())
+	ref := Summarize(serial)
+	for _, workers := range []int{1, 2, 5} {
+		parallel.SetWorkers(workers)
+		got := RunDataset(val, factory)
+		parallel.SetWorkers(0)
+		assertSameOutputs(t, serial, got)
+		if s := Summarize(got); s != ref {
+			t.Fatalf("workers=%d: summary diverged:\n  %v\nvs %v", workers, s, ref)
+		}
+	}
+}
+
+// TestResilientBeatsNaiveUnderFaults is the headline robustness claim:
+// under 10% mixed faults the resilient runner retains strictly more mAP
+// than naive AdaScale run blind over the same corrupted stream.
+func TestResilientBeatsNaiveUnderFaults(t *testing.T) {
+	ds, sys := system(t)
+	val := faulted(t, ds, 0.10, 42)
+	nC := len(ds.Config.Classes)
+
+	naive := RunDataset(val, AdaScaleRunner(sys.Detector, sys.Regressor))
+	res := RunDataset(val, ResilientRunner(sys.Detector, sys.Regressor, DefaultResilientConfig()))
+
+	naiveMAP := eval.Evaluate(toEval(naive), nC).MAP
+	resMAP := eval.Evaluate(toEval(res), nC).MAP
+	if resMAP <= naiveMAP {
+		t.Fatalf("resilient mAP %.4f must beat naive %.4f under 10%% faults", resMAP, naiveMAP)
+	}
+}
+
+// TestResilientDeadlineForcesScaleDown: a deadline below the scale-600
+// cost must force the ladder down and land the rolling mean at or under
+// the deadline once the window fills.
+func TestResilientDeadlineForcesScaleDown(t *testing.T) {
+	ds, sys := system(t)
+	cfg := DefaultResilientConfig()
+	cfg.DeadlineMS = 40
+	cfg.BudgetWindow = 4
+	outs := RunResilient(sys.Detector, sys.Regressor, &ds.Val[0], cfg)
+	free := RunResilient(sys.Detector, sys.Regressor, &ds.Val[0], DefaultResilientConfig())
+
+	s := Summarize(outs)
+	if s.DeadlineForced == 0 {
+		t.Fatalf("a 40 ms deadline must force scales down: %v", s)
+	}
+	if got, ref := MeanRuntimeMS(outs), MeanRuntimeMS(free); got >= ref {
+		t.Fatalf("deadline-capped mean runtime %v not below unconstrained %v", got, ref)
+	}
+	// The tail of the snippet (ladder settled) must respect the deadline.
+	tail := outs[len(outs)/2:]
+	if got := MeanRuntimeMS(tail); got > cfg.DeadlineMS*1.1 {
+		t.Fatalf("settled mean runtime %v ms over the %v ms deadline", got, cfg.DeadlineMS)
+	}
+	for _, o := range outs {
+		if o.Health.DeadlineForced && o.Scale >= InitialScale {
+			t.Fatalf("deadline-forced frame still at scale %d", o.Scale)
+		}
+	}
+}
+
+// TestRunDatasetPartialRecoversPanickingSnippet: one poisoned snippet is
+// recovered into a SnippetError with explicit FallbackPanic placeholder
+// frames; every other snippet is identical to the clean run.
+func TestRunDatasetPartialRecoversPanickingSnippet(t *testing.T) {
+	ds, sys := system(t)
+	poison := ds.Val[2].ID
+	factory := func() SnippetRunner {
+		run := AdaScaleRunner(sys.Detector, sys.Regressor)()
+		return func(sn *synth.Snippet) []FrameOutput {
+			if sn.ID == poison {
+				panic("simulated runner bug")
+			}
+			return run(sn)
+		}
+	}
+	for _, workers := range []int{1, 3} {
+		parallel.SetWorkers(workers)
+		outs, errs := RunDatasetPartial(ds.Val, factory)
+		parallel.SetWorkers(0)
+		if len(errs) != 1 || errs[0].Index != 2 || errs[0].ID != poison {
+			t.Fatalf("workers=%d: errs = %v, want exactly snippet index 2", workers, errs)
+		}
+		if len(outs) != totalFrames(ds.Val) {
+			t.Fatalf("workers=%d: %d outputs, want every frame accounted (%d)", workers, len(outs), totalFrames(ds.Val))
+		}
+		s := Summarize(outs)
+		if got := s.FallbackCounts[FallbackPanic]; got != len(ds.Val[2].Frames) {
+			t.Fatalf("workers=%d: %d panic placeholders, want %d", workers, got, len(ds.Val[2].Frames))
+		}
+	}
+	// Clean factories take the same path as RunDataset.
+	outs, errs := RunDatasetPartial(ds.Val, AdaScaleRunner(sys.Detector, sys.Regressor))
+	if len(errs) != 0 {
+		t.Fatalf("clean run produced errors: %v", errs)
+	}
+	assertSameOutputs(t, RunDataset(ds.Val, AdaScaleRunner(sys.Detector, sys.Regressor)), outs)
+}
+
+// TestHealthSummaryString keeps the report renderer stable on the parts
+// the experiment logs depend on.
+func TestHealthSummaryString(t *testing.T) {
+	var s HealthSummary
+	s.Frames = 3
+	s.FaultCounts[synth.FaultDrop] = 1
+	s.FallbackCounts[FallbackPropagate] = 1
+	got := s.String()
+	for _, want := range []string{"frames=3", "drop=1", "fb/propagate=1"} {
+		if !contains(got, want) {
+			t.Fatalf("summary %q missing %q", got, want)
+		}
+	}
+	if s.MeanRecoveryFrames() != 0 {
+		t.Fatal("no recoveries ⇒ mean 0")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

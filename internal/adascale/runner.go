@@ -1,6 +1,7 @@
 package adascale
 
 import (
+	"fmt"
 	"math/rand"
 
 	"adascale/internal/parallel"
@@ -99,6 +100,55 @@ func RunDataset(snippets []synth.Snippet, factory RunnerFactory) []FrameOutput {
 		out = append(out, outs...)
 	}
 	return out
+}
+
+// SnippetError reports a snippet whose runner panicked during
+// RunDatasetPartial; the run continued without it.
+type SnippetError struct {
+	// Index is the snippet's position in the input slice; ID its synth ID.
+	Index int
+	ID    int
+	Err   error
+}
+
+// Error implements the error interface.
+func (e SnippetError) Error() string {
+	return fmt.Sprintf("snippet %d (index %d): %v", e.ID, e.Index, e.Err)
+}
+
+// RunDatasetPartial is RunDataset with graceful degradation: a snippet
+// whose runner panics is recovered into a SnippetError (the last rung of
+// the degradation ladder) and its frames are emitted as explicit
+// FallbackPanic placeholders — no detections, but full accounting — so one
+// poisoned snippet cannot take down a whole evaluation. Errors come back
+// sorted by snippet index. With no panics the output is byte-identical to
+// RunDataset.
+func RunDatasetPartial(snippets []synth.Snippet, factory RunnerFactory) ([]FrameOutput, []SnippetError) {
+	perSnippet, itemErrs := parallel.MapWorkersPartial(len(snippets), factory,
+		func(run SnippetRunner, i int) []FrameOutput { return run(&snippets[i]) })
+	errs := make([]SnippetError, len(itemErrs))
+	for k, ie := range itemErrs {
+		errs[k] = SnippetError{Index: ie.Index, ID: snippets[ie.Index].ID, Err: ie.Err}
+		// Replace the zero-value slot with per-frame placeholders so the
+		// output stream still accounts for every frame of the dataset.
+		sn := &snippets[ie.Index]
+		outs := make([]FrameOutput, len(sn.Frames))
+		for j := range sn.Frames {
+			f := &sn.Frames[j]
+			var h Health
+			if f.Fault != nil {
+				h.Fault = f.Fault.Kind
+			}
+			h.Fallback = FallbackPanic
+			outs[j] = FrameOutput{Frame: f, Scale: InitialScale, Health: h}
+		}
+		perSnippet[ie.Index] = outs
+	}
+	out := make([]FrameOutput, 0, totalFrames(snippets))
+	for _, outs := range perSnippet {
+		out = append(out, outs...)
+	}
+	return out, errs
 }
 
 // RunDatasetSerial applies a per-snippet runner across a split on the

@@ -7,6 +7,7 @@ package detect
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -65,20 +66,30 @@ func (b Box) String() string {
 }
 
 // IoU returns the Jaccard overlap (intersection over union) of two boxes,
-// in [0, 1]. Degenerate boxes yield 0.
+// in [0, 1]. Degenerate boxes yield 0 — including boxes carrying NaN or
+// infinite coordinates, whose inverted comparisons would otherwise leak
+// NaN into every downstream threshold (the guards are written as negated
+// positives so a NaN intermediate takes the zero path).
 func IoU(a, b Box) float64 {
 	ix1, iy1 := maxf(a.X1, b.X1), maxf(a.Y1, b.Y1)
 	ix2, iy2 := minf(a.X2, b.X2), minf(a.Y2, b.Y2)
 	iw, ih := ix2-ix1, iy2-iy1
-	if iw <= 0 || ih <= 0 {
+	if !(iw > 0) || !(ih > 0) {
 		return 0
 	}
 	inter := iw * ih
 	union := a.Area() + b.Area() - inter
-	if union <= 0 {
+	if !(union > 0) {
 		return 0
 	}
-	return inter / union
+	r := inter / union
+	if math.IsNaN(r) || r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
 }
 
 // Detection is one detector output: a box, a predicted class, and a

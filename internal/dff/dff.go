@@ -132,7 +132,25 @@ func run(det *rfcn.Detector, reg *regressor.Regressor, sn *synth.Snippet, keySca
 			radius = 20
 		}
 		curRender := f.Render(renderShort, maxLong, det.Data.RenderDiv)
-		fl := flow.Estimate(keyRender, curRender, cfg.Block, radius)
+		fl, flErr := flow.Estimate(keyRender, curRender, cfg.Block, radius)
+		if flErr != nil {
+			// Flow failed on a malformed frame pair: degrade to propagating
+			// the key detections unwarped (decayed as usual) instead of
+			// aborting the snippet.
+			decay := math.Pow(1-cfg.DecayPerStep, float64(steps))
+			emitted := make([]detect.Detection, len(keyDets))
+			for j, d := range keyDets {
+				d.Score *= decay
+				emitted[j] = d
+			}
+			outputs = append(outputs, adascale.FrameOutput{
+				Frame: f, Scale: targetScale,
+				Detections: emitted,
+				DetectorMS: simclock.FlowMS,
+				Health:     adascale.Health{Fallback: adascale.FallbackPropagate, Propagated: true},
+			})
+			continue
+		}
 
 		factor := raster.ScaleFactor(f.W, f.H, renderShort*det.Data.RenderDiv, maxLong) / float64(det.Data.RenderDiv)
 		decay := math.Pow(1-cfg.DecayPerStep, float64(steps)) *

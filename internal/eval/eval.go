@@ -53,6 +53,9 @@ type Result struct {
 // in their frame (IoU ≥ MatchIoU); AP is the area under the
 // all-points-interpolated precision-recall curve (VOC 2010+).
 func Evaluate(frames []FrameDetections, nClasses int) *Result {
+	if nClasses < 0 {
+		nClasses = 0
+	}
 	res := &Result{PerClass: make([]ClassResult, nClasses)}
 
 	type scored struct {
@@ -64,6 +67,12 @@ func Evaluate(frames []FrameDetections, nClasses int) *Result {
 
 	for _, fr := range frames {
 		for _, gt := range fr.GroundTruth {
+			// Out-of-range GT classes are skipped rather than crashing the
+			// evaluation (the matching loop below never pairs them either,
+			// since detection classes are range-checked).
+			if gt.Class < 0 || gt.Class >= nClasses {
+				continue
+			}
 			numGT[gt.Class]++
 		}
 		// Sort this frame's detections by score so greedy matching is

@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"adascale/internal/detect"
+)
+
+// decodeFrames deserialises an arbitrary byte stream into evaluation
+// frames: alternating detections and ground truths with fully arbitrary
+// float bit patterns (NaN, ±Inf, inverted boxes) and unvalidated classes.
+func decodeFrames(data []byte) []FrameDetections {
+	const rec = 8 * 6 // x1 y1 x2 y2 score class
+	n := len(data) / rec
+	if n > 256 {
+		n = 256
+	}
+	f := func(off int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	}
+	var frames []FrameDetections
+	var cur FrameDetections
+	for k := 0; k < n; k++ {
+		base := k * rec
+		box := detect.Box{X1: f(base), Y1: f(base + 8), X2: f(base + 16), Y2: f(base + 24)}
+		class := int(int16(binary.LittleEndian.Uint16(data[base+40:])))
+		switch k % 3 {
+		case 0, 1:
+			cur.Detections = append(cur.Detections, detect.Detection{Box: box, Score: f(base + 32), Class: class})
+		case 2:
+			cur.GroundTruth = append(cur.GroundTruth, detect.GroundTruth{Box: box, Class: class})
+			frames = append(frames, cur)
+			cur = FrameDetections{}
+		}
+	}
+	frames = append(frames, cur)
+	return frames
+}
+
+// FuzzEvaluate asserts the evaluator never panics and keeps mAP/AP finite
+// and in range on degenerate inputs: out-of-range detection and
+// ground-truth classes, NaN scores, inverted boxes, hostile nClasses.
+func FuzzEvaluate(f *testing.F) {
+	f.Add([]byte{}, 30)
+	f.Add(make([]byte, 8*6*6), 2)
+	inf := make([]byte, 8*6*4)
+	for i := 0; i < len(inf); i += 8 {
+		binary.LittleEndian.PutUint64(inf[i:], 0x7ff0000000000000) // +Inf
+	}
+	f.Add(inf, 1)
+	f.Add([]byte("out-of-range classes must be skipped, not crash........"), -3)
+
+	f.Fuzz(func(t *testing.T, data []byte, nClasses int) {
+		if nClasses > 1<<10 {
+			nClasses = 1 << 10 // bound allocation, not behaviour
+		}
+		res := Evaluate(decodeFrames(data), nClasses)
+		if math.IsNaN(res.MAP) || res.MAP < 0 || res.MAP > 1 {
+			t.Fatalf("mAP %v out of [0,1]", res.MAP)
+		}
+		for _, cr := range res.PerClass {
+			if math.IsNaN(cr.AP) || cr.AP < 0 || cr.AP > 1 {
+				t.Fatalf("class %d AP %v out of [0,1]", cr.Class, cr.AP)
+			}
+			if cr.TP < 0 || cr.FP < 0 || cr.NumGT < 0 {
+				t.Fatalf("class %d negative counts: %+v", cr.Class, cr)
+			}
+		}
+	})
+}

@@ -140,7 +140,14 @@ func ToEval(outputs []adascale.FrameOutput) []eval.FrameDetections {
 // evaluateMethod runs a per-snippet runner factory over the validation
 // split (in parallel, one runner per worker) and scores it.
 func (b *Bundle) evaluateMethod(name string, factory adascale.RunnerFactory) MethodRow {
-	outputs := adascale.RunDataset(b.DS.Val, factory)
+	return b.evaluateMethodOn(name, b.DS.Val, factory)
+}
+
+// evaluateMethodOn is evaluateMethod over an arbitrary snippet set — the
+// robustness sweep scores the same runners on fault-injected copies of the
+// validation split.
+func (b *Bundle) evaluateMethodOn(name string, snippets []synth.Snippet, factory adascale.RunnerFactory) MethodRow {
+	outputs := adascale.RunDataset(snippets, factory)
 	res := eval.Evaluate(ToEval(outputs), len(b.DS.Config.Classes))
 	per := make([]float64, len(res.PerClass))
 	for i, c := range res.PerClass {

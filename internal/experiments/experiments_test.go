@@ -283,3 +283,43 @@ func TestScalesString(t *testing.T) {
 		t.Fatalf("scalesString(nil) = %q", got)
 	}
 }
+
+func TestRobustnessSweep(t *testing.T) {
+	b := testBundle(t)
+	res, err := b.Robustness([]float64{0, 0.10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	clean, faulty := res.Rows[0], res.Rows[1]
+	if clean.Summary.FaultCounts[0] != clean.Summary.Frames {
+		t.Fatalf("rate 0 must inject nothing: %v", clean.Summary)
+	}
+	if faulty.Summary.Frames == clean.Summary.FaultCounts[0] && faulty.Summary.Degraded == 0 {
+		t.Fatal("rate 0.10 injected no faults")
+	}
+	// The headline: the resilient runner out-scores naive AdaScale on the
+	// identical corrupted stream, and every frame is accounted for.
+	if faulty.Resilient.MAP <= faulty.Naive.MAP {
+		t.Fatalf("resilient %.4f must beat naive %.4f at rate 0.10",
+			faulty.Resilient.MAP, faulty.Naive.MAP)
+	}
+	if faulty.Summary.Unaccounted != 0 {
+		t.Fatalf("unaccounted frames in resilient run: %v", faulty.Summary)
+	}
+	// Faults cost every method accuracy relative to the clean stream.
+	if faulty.Naive.MAP >= clean.Naive.MAP {
+		t.Fatalf("faults should hurt naive AdaScale: %.4f vs clean %.4f",
+			faulty.Naive.MAP, clean.Naive.MAP)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Resilient", "health:", "retains"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package flow
 
 import (
+	"fmt"
 	"math"
 
 	"adascale/internal/detect"
@@ -29,10 +30,16 @@ type Field struct {
 
 // Estimate computes block-matching flow from prev to cur. Both images must
 // have identical dimensions. block is the cell size, radius the maximum
-// displacement searched (both in pixels).
-func Estimate(prev, cur *raster.Image, block, radius int) *Field {
+// displacement searched (both in pixels). A malformed frame pair (nil or
+// mismatched sizes) returns an error rather than panicking, so one bad
+// frame cannot kill a whole evaluation — callers degrade instead (the DFF
+// runner propagates unwarped detections).
+func Estimate(prev, cur *raster.Image, block, radius int) (*Field, error) {
+	if prev == nil || cur == nil {
+		return nil, fmt.Errorf("flow: nil frame (prev=%v cur=%v)", prev != nil, cur != nil)
+	}
 	if prev.W != cur.W || prev.H != cur.H {
-		panic("flow: frame sizes differ")
+		return nil, fmt.Errorf("flow: frame sizes differ (%dx%d vs %dx%d)", prev.W, prev.H, cur.W, cur.H)
 	}
 	if block < 2 {
 		block = 2
@@ -80,7 +87,7 @@ func Estimate(prev, cur *raster.Image, block, radius int) *Field {
 			f.Residual[i] = float32(bestSAD / float64(block*block))
 		}
 	}
-	return f
+	return f, nil
 }
 
 // blockSAD computes the sum of absolute differences between the block at

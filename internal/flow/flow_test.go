@@ -35,10 +35,21 @@ func shifted(im *raster.Image, dx, dy int) *raster.Image {
 	return out
 }
 
+// mustEstimate is the test-side wrapper over Estimate for well-formed
+// inputs.
+func mustEstimate(t *testing.T, prev, cur *raster.Image, block, radius int) *Field {
+	t.Helper()
+	f, err := Estimate(prev, cur, block, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
 func TestZeroFlowOnIdenticalFrames(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	im := texturedImage(rng, 48, 32)
-	f := Estimate(im, im, 8, 4)
+	f := mustEstimate(t, im, im, 8, 4)
 	if f.MeanMagnitude() != 0 {
 		t.Fatalf("identical frames must give zero flow, got %v", f.MeanMagnitude())
 	}
@@ -52,7 +63,7 @@ func TestRecoversGlobalTranslation(t *testing.T) {
 	im := texturedImage(rng, 64, 48)
 	for _, shift := range [][2]int{{3, 0}, {0, -2}, {2, 2}, {-3, 1}} {
 		cur := shifted(im, shift[0], shift[1])
-		f := Estimate(im, cur, 8, 4)
+		f := mustEstimate(t, im, cur, 8, 4)
 		// Interior blocks (away from borders where fill dominates) must
 		// recover the exact displacement.
 		okCount, total := 0, 0
@@ -74,7 +85,7 @@ func TestRecoversGlobalTranslation(t *testing.T) {
 func TestFieldAtClamps(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	im := texturedImage(rng, 32, 32)
-	f := Estimate(im, shifted(im, 1, 0), 8, 2)
+	f := mustEstimate(t, im, shifted(im, 1, 0), 8, 2)
 	// Out-of-range lookups clamp to border cells rather than panicking.
 	u1, v1 := f.At(-5, -5)
 	u2, v2 := f.At(0, 0)
@@ -88,7 +99,7 @@ func TestWarpBoxFollowsMotion(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	im := texturedImage(rng, 64, 64)
 	cur := shifted(im, 3, 2)
-	f := Estimate(im, cur, 8, 4)
+	f := mustEstimate(t, im, cur, 8, 4)
 	b := detect.Box{X1: 16, Y1: 16, X2: 40, Y2: 40}
 	w := f.WarpBox(b)
 	if math.Abs(w.X1-b.X1-3) > 1.5 || math.Abs(w.Y1-b.Y1-2) > 1.5 {
@@ -107,27 +118,33 @@ func TestResidualSignalsUnreliableFlow(t *testing.T) {
 	// Completely unrelated next frame: no displacement explains it.
 	unrelated := texturedImage(rand.New(rand.NewSource(99)), 48, 48)
 	translated := shifted(prev, 2, 0)
-	fBad := Estimate(prev, unrelated, 8, 3)
-	fGood := Estimate(prev, translated, 8, 3)
+	fBad := mustEstimate(t, prev, unrelated, 8, 3)
+	fGood := mustEstimate(t, prev, translated, 8, 3)
 	if fBad.MeanResidual() <= fGood.MeanResidual() {
 		t.Fatalf("unrelated frames should have higher residual: %v vs %v",
 			fBad.MeanResidual(), fGood.MeanResidual())
 	}
 }
 
-func TestMismatchedSizesPanic(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Estimate(raster.New(10, 10), raster.New(20, 10), 4, 2)
+// TestMalformedFramesReturnError pins the hardened contract: a malformed
+// frame pair is an error, never a panic, so one bad frame cannot kill a
+// whole evaluation.
+func TestMalformedFramesReturnError(t *testing.T) {
+	if _, err := Estimate(raster.New(10, 10), raster.New(20, 10), 4, 2); err == nil {
+		t.Fatal("mismatched sizes must return an error")
+	}
+	if _, err := Estimate(nil, raster.New(10, 10), 4, 2); err == nil {
+		t.Fatal("nil prev must return an error")
+	}
+	if _, err := Estimate(raster.New(10, 10), nil, 4, 2); err == nil {
+		t.Fatal("nil cur must return an error")
+	}
 }
 
 func TestSmallBlockClamped(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	im := texturedImage(rng, 16, 16)
-	f := Estimate(im, im, 1, 1) // block clamps to 2
+	f := mustEstimate(t, im, im, 1, 1) // block clamps to 2
 	if f.Block != 2 {
 		t.Fatalf("block = %d, want clamp to 2", f.Block)
 	}

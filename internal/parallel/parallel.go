@@ -15,6 +15,7 @@ package parallel
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -145,6 +146,86 @@ func MapN[R any](workers, n int, fn func(int) R) []R {
 // calling goroutine.
 func MapWorkers[S, R any](n int, newWorker func() S, fn func(S, int) R) []R {
 	return MapWorkersN(Workers(), n, newWorker, fn)
+}
+
+// ItemError pairs a work-item index with the error its task produced —
+// the structured form a recovered per-item panic surfaces as.
+type ItemError struct {
+	Index int
+	Err   error
+}
+
+// Error implements the error interface.
+func (e ItemError) Error() string {
+	return fmt.Sprintf("parallel: item %d: %v", e.Index, e.Err)
+}
+
+// MapWorkersPartial is MapWorkers with graceful degradation: a panicking
+// task is recovered into an ItemError for its index (zero value in the
+// result slot) and the remaining items still execute, so one poisoned work
+// item cannot take down a whole run. After a recovered panic the worker
+// rebuilds its per-worker state with newWorker — the panic may have left
+// the old state (e.g. a half-updated activation cache) corrupted. Errors
+// are returned sorted by item index; results keep index order as always.
+func MapWorkersPartial[S, R any](n int, newWorker func() S, fn func(S, int) R) ([]R, []ItemError) {
+	return MapWorkersPartialN(Workers(), n, newWorker, fn)
+}
+
+// MapWorkersPartialN is MapWorkersPartial with an explicit worker count.
+func MapWorkersPartialN[S, R any](workers, n int, newWorker func() S, fn func(S, int) R) ([]R, []ItemError) {
+	out := make([]R, n)
+	if n <= 0 {
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		errs []ItemError
+		wg   sync.WaitGroup
+	)
+	// runOne isolates a single task so a panic loses only that item.
+	runOne := func(s S, i int) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				errs = append(errs, ItemError{Index: i, Err: &PanicError{Value: r}})
+				mu.Unlock()
+			}
+		}()
+		out[i] = fn(s, i)
+		return true
+	}
+	worker := func() {
+		defer wg.Done()
+		s := newWorker()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if !runOne(s, i) {
+				s = newWorker()
+			}
+		}
+	}
+	if workers == 1 {
+		wg.Add(1)
+		worker()
+	} else {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go worker()
+		}
+		wg.Wait()
+	}
+	sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
+	return out, errs
 }
 
 // MapWorkersN is MapWorkers with an explicit worker count.

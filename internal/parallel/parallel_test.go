@@ -158,3 +158,85 @@ func TestForEachCompletesAllItems(t *testing.T) {
 		}
 	}
 }
+
+func TestMapWorkersPartialRecoversPerItem(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		out, errs := MapWorkersPartialN(workers, 20,
+			func() int { return 7 },
+			func(s, i int) int {
+				if i%5 == 3 {
+					panic("poisoned item")
+				}
+				return s * i
+			})
+		if len(errs) != 4 {
+			t.Fatalf("workers=%d: %d errors, want 4: %v", workers, len(errs), errs)
+		}
+		for k, e := range errs {
+			if e.Index != 5*k+3 {
+				t.Fatalf("workers=%d: errs[%d].Index = %d, want %d (sorted)", workers, k, e.Index, 5*k+3)
+			}
+			var pe *PanicError
+			if !errorsAs(e.Err, &pe) {
+				t.Fatalf("workers=%d: error not a *PanicError: %v", workers, e.Err)
+			}
+		}
+		for i, v := range out {
+			want := 7 * i
+			if i%5 == 3 {
+				want = 0 // zero-value placeholder for the failed item
+			}
+			if v != want {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, want)
+			}
+		}
+	}
+}
+
+// errorsAs is a tiny local stand-in so the test file keeps its import list.
+func errorsAs(err error, target **PanicError) bool {
+	pe, ok := err.(*PanicError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestMapWorkersPartialRebuildsStateAfterPanic(t *testing.T) {
+	var built atomic.Int64
+	out, errs := MapWorkersPartialN(1, 5,
+		func() int64 { return built.Add(1) },
+		func(s int64, i int) int64 {
+			if i == 1 {
+				panic("corrupt the worker")
+			}
+			return s
+		})
+	if len(errs) != 1 || errs[0].Index != 1 {
+		t.Fatalf("errs = %v, want exactly item 1", errs)
+	}
+	// Items 0..1 ran on state #1; after the recovered panic the worker must
+	// rebuild, so items 2..4 run on state #2.
+	if built.Load() != 2 {
+		t.Fatalf("newWorker called %d times, want 2 (rebuild after panic)", built.Load())
+	}
+	want := []int64{1, 0, 2, 2, 2}
+	for i, v := range out {
+		if v != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestMapWorkersPartialCleanRunMatchesMapWorkers(t *testing.T) {
+	ref := MapWorkersN(3, 50, func() int { return 1 }, func(s, i int) int { return s + i })
+	got, errs := MapWorkersPartialN(3, 50, func() int { return 1 }, func(s, i int) int { return s + i })
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("partial diverged from MapWorkers at %d: %d vs %d", i, got[i], ref[i])
+		}
+	}
+}

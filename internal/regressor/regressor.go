@@ -60,17 +60,27 @@ func EncodeTarget(m, mOpt int) float64 {
 // DecodeScale inverts Eq. 3 (Algorithm 1's decode step): given the
 // regressed t and the current image's base size (shortest side), it
 // recovers the target scale in floating point, rounds it to an integer and
-// clips it to [MinScale, MaxScale].
+// clips it to [MinScale, MaxScale]. A non-finite t (NaN/Inf from a
+// corrupted regressor or garbage features) would otherwise round into an
+// arbitrary int; it instead falls back to the clipped base size — "keep
+// the scale that was already in use".
 func DecodeScale(t float64, baseSize int) int {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return clipScale(baseSize)
+	}
 	rMin := float64(MinScale) / float64(MaxScale)
 	rMax := float64(MaxScale) / float64(MinScale)
 	ratio := (t+1)/2*(rMax-rMin) + rMin
-	s := int(math.Round(ratio * float64(baseSize)))
+	return clipScale(int(math.Round(ratio * float64(baseSize))))
+}
+
+// clipScale clips a scale to the paper's [MinScale, MaxScale] test range.
+func clipScale(s int) int {
 	if s < MinScale {
-		s = MinScale
+		return MinScale
 	}
 	if s > MaxScale {
-		s = MaxScale
+		return MaxScale
 	}
 	return s
 }

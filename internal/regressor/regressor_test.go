@@ -55,6 +55,24 @@ func TestDecodeScaleClips(t *testing.T) {
 	}
 }
 
+func TestDecodeScaleNonFinite(t *testing.T) {
+	// A poisoned regressor (NaN/Inf weights) must not poison the scale
+	// schedule: a non-finite prediction decodes to the clipped base size,
+	// i.e. "keep the current scale".
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := DecodeScale(bad, 360); got != 360 {
+			t.Fatalf("decode(%v, 360) = %d, want 360", bad, got)
+		}
+		// A base outside the test range still comes back clipped.
+		if got := DecodeScale(bad, 10_000); got != MaxScale {
+			t.Fatalf("decode(%v, 10000) = %d, want %d", bad, got, MaxScale)
+		}
+		if got := DecodeScale(bad, 1); got != MinScale {
+			t.Fatalf("decode(%v, 1) = %d, want %d", bad, got, MinScale)
+		}
+	}
+}
+
 // Property: decoded scale is monotone in t for a fixed base.
 func TestDecodeMonotone(t *testing.T) {
 	f := func(a, b float64) bool {

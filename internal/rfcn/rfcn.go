@@ -233,9 +233,11 @@ func (d *Detector) Detect(f *synth.Frame, scale int) *Result {
 	}
 
 	// Clutter-driven false positives: candidates activate as resolution
-	// (and with it distracting background detail) increases.
+	// (and with it distracting background detail) increases. Sensor faults
+	// modulate the intensity: empty frames spawn nothing, noise bursts
+	// activate extra spurious responses.
 	fpIntensity := 0.4 * f.Clutter * fpTrainingFactor(d.TrainScales) *
-		math.Pow(float64(scale)/600.0, 1.2)
+		math.Pow(float64(scale)/600.0, 1.2) * f.Fault.FPFactor()
 	frng := rand.New(rand.NewSource(f.Seed() ^ 0x4FD1EB))
 	const nCandidates = 28
 	for j := 0; j < nCandidates; j++ {
@@ -380,6 +382,9 @@ func (d *Detector) quality(obj synth.Object, p synth.ClassProfile, f *synth.Fram
 	if d.MultiScale() {
 		q *= 1 - msQualityTax - 0.5*p.MSConfusion
 	}
+	// Sensor faults degrade the response (overexposure washes objects out,
+	// noise bursts drown them) in proportion to severity.
+	q *= f.Fault.QualityFactor()
 	return clamp01(q)
 }
 

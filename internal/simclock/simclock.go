@@ -8,7 +8,11 @@
 // pixels, which is how convolutional backbone FLOPs scale.
 package simclock
 
-import "adascale/internal/raster"
+import (
+	"math"
+
+	"adascale/internal/raster"
+)
 
 // Reference calibration points from the paper.
 const (
@@ -64,6 +68,65 @@ func RegressorMS(kernels []int) float64 {
 	default:
 		return Regressor135MS
 	}
+}
+
+// Budget tracks modelled per-frame runtime against a per-frame deadline
+// over a rolling window — the accounting a deadline-aware runner uses to
+// decide when to force the next-lower test scale. A zero/negative deadline
+// disables enforcement (Exceeded is always false).
+type Budget struct {
+	deadlineMS float64
+	window     []float64 // ring buffer of recent per-frame charges
+	next       int       // ring write position
+	filled     int       // number of valid entries
+	sum        float64   // sum of valid entries
+}
+
+// NewBudget creates a budget for the given per-frame deadline with the
+// given rolling window length (frames); window < 1 means 8.
+func NewBudget(deadlineMS float64, window int) *Budget {
+	if window < 1 {
+		window = 8
+	}
+	return &Budget{deadlineMS: deadlineMS, window: make([]float64, window)}
+}
+
+// DeadlineMS returns the configured per-frame deadline (0 = disabled).
+func (b *Budget) DeadlineMS() float64 { return b.deadlineMS }
+
+// Charge records one frame's modelled cost in milliseconds (detector +
+// overheads + arrival jitter).
+func (b *Budget) Charge(ms float64) {
+	if b.filled == len(b.window) {
+		b.sum -= b.window[b.next]
+	} else {
+		b.filled++
+	}
+	b.window[b.next] = ms
+	b.sum += ms
+	b.next = (b.next + 1) % len(b.window)
+}
+
+// MeanMS returns the rolling mean per-frame cost (0 before any charge).
+func (b *Budget) MeanMS() float64 {
+	if b.filled == 0 {
+		return 0
+	}
+	return b.sum / float64(b.filled)
+}
+
+// Exceeded reports whether the rolling mean is over the deadline.
+func (b *Budget) Exceeded() bool {
+	return b.deadlineMS > 0 && b.filled > 0 && b.MeanMS() > b.deadlineMS
+}
+
+// Headroom returns deadline − rolling mean (positive = under budget);
+// +Inf when the deadline is disabled.
+func (b *Budget) Headroom() float64 {
+	if b.deadlineMS <= 0 {
+		return math.Inf(1)
+	}
+	return b.deadlineMS - b.MeanMS()
 }
 
 // FPS converts an average per-frame time in milliseconds to frames/second.

@@ -63,3 +63,50 @@ func TestFPS(t *testing.T) {
 		t.Fatal("FPS(0) must be 0, not Inf")
 	}
 }
+
+func TestBudgetRollingMean(t *testing.T) {
+	b := NewBudget(50, 4)
+	if b.Exceeded() {
+		t.Fatal("empty budget must not report exceeded")
+	}
+	for _, ms := range []float64{40, 40, 40, 40} {
+		b.Charge(ms)
+	}
+	if got := b.MeanMS(); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("mean = %v, want 40", got)
+	}
+	if b.Exceeded() {
+		t.Fatal("40 ms mean under a 50 ms deadline must not exceed")
+	}
+	// Two expensive frames push the window mean over the deadline...
+	b.Charge(90)
+	b.Charge(90)
+	if !b.Exceeded() {
+		t.Fatalf("mean %v over deadline 50 must report exceeded", b.MeanMS())
+	}
+	// ...and cheap frames roll them back out of the window.
+	for i := 0; i < 4; i++ {
+		b.Charge(10)
+	}
+	if b.Exceeded() {
+		t.Fatalf("window should have recovered, mean = %v", b.MeanMS())
+	}
+	if got := b.Headroom(); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("headroom = %v, want 40", got)
+	}
+}
+
+func TestBudgetDisabled(t *testing.T) {
+	b := NewBudget(0, 4)
+	b.Charge(1e9)
+	if b.Exceeded() {
+		t.Fatal("deadline 0 disables enforcement")
+	}
+	if !math.IsInf(b.Headroom(), 1) {
+		t.Fatalf("disabled budget headroom = %v, want +Inf", b.Headroom())
+	}
+	// window < 1 falls back to the default length instead of panicking.
+	if NewBudget(30, 0) == nil {
+		t.Fatal("NewBudget with window 0 must still construct")
+	}
+}

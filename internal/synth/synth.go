@@ -42,6 +42,17 @@ type Frame struct {
 	Blur      float64 // motion-blur radius in native px
 	seed      int64
 	trackSeed int64
+
+	// Fault records the sensor fault injected into this frame
+	// (internal/faults); nil means the frame is clean. Objects always
+	// holds the *sensed* content — what the detector gets to see.
+	Fault *Fault
+
+	// Truth holds the scene's real objects when a fault made the sensed
+	// content (Objects) diverge from reality — a dropped/blacked-out frame
+	// senses nothing, a stale frame senses an old scene. nil means Objects
+	// is the truth. Evaluation always scores against the truth.
+	Truth []Object
 }
 
 // TrackSeed returns a seed shared by every frame of the snippet. The
@@ -55,10 +66,16 @@ func (f *Frame) TrackSeed() int64 { return f.trackSeed }
 // it so detections are reproducible and consistent across test scales.
 func (f *Frame) Seed() int64 { return f.seed }
 
-// GroundTruth converts the frame's objects to evaluation ground truth.
+// GroundTruth converts the frame's real objects to evaluation ground
+// truth: the Truth override when a fault made the sensed content diverge
+// from the scene, the sensed Objects otherwise.
 func (f *Frame) GroundTruth() []detect.GroundTruth {
-	gts := make([]detect.GroundTruth, len(f.Objects))
-	for i, o := range f.Objects {
+	objs := f.Objects
+	if f.Truth != nil {
+		objs = f.Truth
+	}
+	gts := make([]detect.GroundTruth, len(objs))
+	for i, o := range objs {
 		gts[i] = detect.GroundTruth{Box: o.Box, Class: o.Class}
 	}
 	return gts
@@ -336,6 +353,17 @@ func (f *Frame) Render(renderShort, maxLongNative, renderDiv int) *raster.Image 
 	im := raster.New(rw, rh)
 	rng := rand.New(rand.NewSource(f.seed))
 
+	// Dropped/blacked-out frames carry no scene content: a black image
+	// (with residual sensor noise for a blackout) is what the feature
+	// extractor — and any mean-intensity fault check — actually sees.
+	if f.Fault != nil && (f.Fault.Kind == FaultDrop || f.Fault.Kind == FaultBlackout) {
+		if f.Fault.Kind == FaultBlackout {
+			im.AddNoise(rng, 0.01)
+			im.Clamp()
+		}
+		return im
+	}
+
 	// Background: base level with a soft vertical gradient.
 	for y := 0; y < rh; y++ {
 		v := float32(0.3 + 0.1*float64(y)/float64(rh))
@@ -362,7 +390,20 @@ func (f *Frame) Render(renderShort, maxLongNative, renderDiv int) *raster.Image 
 	// Motion blur and sensor noise.
 	blur := int(math.Round(f.Blur * factor))
 	out := im.BoxBlur(blur)
-	out.AddNoise(rng, 0.015)
+	noise := 0.015
+	if f.Fault != nil {
+		switch f.Fault.Kind {
+		case FaultNoise:
+			noise += 0.2 * f.Fault.Severity
+		case FaultOverexpose:
+			// Push pixels toward saturation before the final clamp.
+			sev := float32(f.Fault.Severity)
+			for i, v := range out.Pix {
+				out.Pix[i] = v + sev*(1.2-v)
+			}
+		}
+	}
+	out.AddNoise(rng, noise)
 	out.Clamp()
 	return out
 }

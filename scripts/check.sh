@@ -18,4 +18,10 @@ go build ./...
 # -timeout covers the heavy experiment harnesses on small machines: the
 # race detector slows the regressor-training loops by ~10x.
 go test -race -timeout 60m ./...
+
+# Brief randomized fuzzing on top of the committed seed corpus — the NMS
+# and evaluator harnesses must hold on degenerate boxes (NaN/Inf
+# coordinates, out-of-range classes) far beyond what the unit tests pin.
+go test -run='^$' -fuzz='^FuzzNMS$' -fuzztime=5s ./internal/detect
+go test -run='^$' -fuzz='^FuzzEvaluate$' -fuzztime=5s ./internal/eval
 echo "tier-1 gate: OK"
