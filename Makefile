@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz-smoke
+.PHONY: check fmt vet build test race bench fuzz-smoke serve-smoke
 
-check: fmt vet build race fuzz-smoke
+check: fmt vet build race fuzz-smoke serve-smoke
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -39,3 +39,10 @@ bench:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzNMS$$ -fuzztime=5s ./internal/detect
 	$(GO) test -run=^$$ -fuzz=^FuzzEvaluate$$ -fuzztime=5s ./internal/eval
+
+# End-to-end serving gate under the race detector: 200 simulated frames
+# across 4 streams at an unloaded rate must serve with zero drops and a
+# non-empty metrics snapshot (-smoke exits non-zero otherwise).
+serve-smoke:
+	$(GO) run -race ./cmd/adascale-serve -streams 4 -frames 50 -rate 5 \
+		-slo-ms 0 -tick-ms 0 -train 8 -val 4 -workers 4 -seed 5 -smoke

@@ -43,6 +43,7 @@ import (
 	"adascale/internal/regressor"
 	"adascale/internal/rfcn"
 	"adascale/internal/seqnms"
+	"adascale/internal/serve"
 	"adascale/internal/synth"
 )
 
@@ -289,6 +290,48 @@ func MeanRuntimeMS(outputs []FrameOutput) float64 { return adascale.MeanRuntimeM
 
 // MeanScale averages the tested scale.
 func MeanScale(outputs []FrameOutput) float64 { return adascale.MeanScale(outputs) }
+
+// Multi-stream serving.
+type (
+	// ServeConfig parameterises the multi-stream server: serving capacity,
+	// per-stream queue depth (drop-oldest beyond it), admission-control
+	// limit, and the per-frame latency SLO that walks overloaded streams
+	// down the scale ladder.
+	ServeConfig = serve.Config
+	// Server schedules N concurrent video sessions onto the worker pool.
+	Server = serve.Server
+	// ServeReport is one serving run's outcome: per-stream outputs, drops,
+	// SLO misses, and the deterministic metrics registry.
+	ServeReport = serve.Report
+	// ServeStreamReport is one admitted stream's outcome.
+	ServeStreamReport = serve.StreamReport
+	// ServeMetrics is the dependency-free counter/gauge/histogram registry.
+	ServeMetrics = serve.Metrics
+	// ServeStream is one session's workload: an ordered arrival schedule.
+	ServeStream = serve.Stream
+	// TimedFrame is one frame with its open-loop arrival time.
+	TimedFrame = serve.TimedFrame
+	// LoadConfig parameterises the deterministic load generator.
+	LoadConfig = serve.LoadConfig
+)
+
+// NewServer creates a multi-stream server over a trained system. Time is
+// virtual: the scheduler is a discrete-event simulation over the modelled
+// runtime clock, while detector/regressor compute fans out across real
+// goroutines with per-worker clones — so the served outputs and the final
+// metrics snapshot are byte-identical across runs and core counts.
+func NewServer(det *Detector, reg *Regressor, cfg ServeConfig) (*Server, error) {
+	return serve.New(det, reg, cfg)
+}
+
+// GenLoad builds deterministic per-stream open-loop arrival schedules
+// (exponential inter-arrival times at LoadConfig.FPS) over a snippet set.
+func GenLoad(snippets []Snippet, cfg LoadConfig) ([]ServeStream, error) {
+	return serve.GenLoad(snippets, cfg)
+}
+
+// NewServeMetrics creates an empty serving metrics registry.
+func NewServeMetrics() *ServeMetrics { return serve.NewMetrics() }
 
 // Video-acceleration baselines.
 type (

@@ -8,51 +8,50 @@
 //	               [-faults 0,0.05,0.1,0.2] [-deadline-ms 0]
 //
 // Experiments: table1, table2, table3, fig5, fig6, fig7, fig9, fig10,
-// qualitative, robustness. The robustness sweep injects the -faults rates
-// into the validation split and compares fixed-scale, naive AdaScale and
-// the resilient runner (optionally deadline-constrained via -deadline-ms).
+// qualitative, robustness, serving. The robustness sweep injects the
+// -faults rates into the validation split and compares fixed-scale, naive
+// AdaScale and the resilient runner (optionally deadline-constrained via
+// -deadline-ms). The serving sweep loads the multi-stream server at
+// increasing stream counts against latency SLOs. The master -seed pins the
+// dataset and every derived fault/load stream (see internal/cli).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
+	"adascale/internal/cli"
 	"adascale/internal/experiments"
-	"adascale/internal/parallel"
 )
 
 func main() {
-	dataset := flag.String("dataset", "vid", "dataset: vid or ytbb")
+	var common cli.Common
+	common.Register(60, 30)
 	exp := flag.String("exp", "all", "comma-separated experiments or 'all'")
-	train := flag.Int("train", 60, "training snippets")
-	val := flag.Int("val", 30, "validation snippets")
-	seed := flag.Int64("seed", 5, "dataset seed")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	faultRates := flag.String("faults", "0,0.05,0.1,0.2", "fault rates for the robustness sweep")
 	deadlineMS := flag.Float64("deadline-ms", 0, "per-frame deadline for the resilient runner (0 = off)")
 	flag.Parse()
-	parallel.SetWorkers(*workers)
+	common.Apply()
 
-	rates, err := parseRates(*faultRates)
+	fail := func(err error) { cli.Fail("adascale-bench", err) }
+
+	rates, err := cli.ParseFloats(*faultRates)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "adascale-bench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	cfg := experiments.Config{
-		Dataset:       *dataset,
-		TrainSnippets: *train,
-		ValSnippets:   *val,
-		Seed:          *seed,
+		Dataset:       common.Dataset,
+		TrainSnippets: common.Train,
+		ValSnippets:   common.Val,
+		Seed:          common.Seed,
 	}
 	b, err := experiments.Prepare(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "adascale-bench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	want := map[string]bool{}
@@ -83,25 +82,15 @@ func main() {
 	run("robustness", func() {
 		res, err := b.Robustness(rates, *deadlineMS)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "adascale-bench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		res.Print(w)
 	})
-}
-
-func parseRates(s string) ([]float64, error) {
-	var out []float64
-	for _, p := range strings.Split(s, ",") {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(p, 64)
+	run("serving", func() {
+		res, err := b.Serving(experiments.DefaultServingConfig())
 		if err != nil {
-			return nil, fmt.Errorf("bad fault-rate list %q: %w", s, err)
+			fail(err)
 		}
-		out = append(out, v)
-	}
-	return out, nil
+		res.Print(w)
+	})
 }

@@ -11,7 +11,8 @@
 // With -faults > 0 the validation split is additionally corrupted with the
 // deterministic fault injector at that per-frame rate and the protocols
 // are compared against the resilient runner on the corrupted stream
-// (-deadline-ms enables its per-frame deadline).
+// (-deadline-ms enables its per-frame deadline). The master -seed pins the
+// dataset and every derived fault stream (see internal/cli).
 package main
 
 import (
@@ -19,40 +20,34 @@ import (
 	"fmt"
 	"os"
 
+	"adascale/internal/cli"
 	"adascale/internal/experiments"
-	"adascale/internal/parallel"
 )
 
 func main() {
-	dataset := flag.String("dataset", "vid", "dataset: vid or ytbb")
-	train := flag.Int("train", 60, "training snippets")
-	val := flag.Int("val", 30, "validation snippets")
-	seed := flag.Int64("seed", 5, "dataset seed")
+	var common cli.Common
+	common.Register(60, 30)
 	weights := flag.String("weights", "", "optional regressor weights from adascale-train")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	faultRate := flag.Float64("faults", 0, "per-frame fault rate for the robustness comparison (0 = off)")
 	deadlineMS := flag.Float64("deadline-ms", 0, "per-frame deadline for the resilient runner (0 = off)")
 	flag.Parse()
-	parallel.SetWorkers(*workers)
+	common.Apply()
 
 	b, err := experiments.Prepare(experiments.Config{
-		Dataset: *dataset, TrainSnippets: *train, ValSnippets: *val, Seed: *seed,
+		Dataset: common.Dataset, TrainSnippets: common.Train, ValSnippets: common.Val, Seed: common.Seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "adascale-eval:", err)
-		os.Exit(1)
+		cli.Fail("adascale-eval", err)
 	}
 	if *weights != "" {
 		f, err := os.Open(*weights)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "adascale-eval:", err)
-			os.Exit(1)
+			cli.Fail("adascale-eval", err)
 		}
 		// Build the default system, then overwrite its regressor weights.
 		sys := b.DefaultSystem()
 		if err := sys.Regressor.Load(f); err != nil {
-			fmt.Fprintln(os.Stderr, "adascale-eval: loading weights:", err)
-			os.Exit(1)
+			cli.Fail("adascale-eval", fmt.Errorf("loading weights: %w", err))
 		}
 		f.Close()
 		fmt.Printf("loaded regressor weights from %s\n", *weights)
@@ -73,8 +68,7 @@ func main() {
 		fmt.Println()
 		res, err := b.Robustness([]float64{0, *faultRate}, *deadlineMS)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "adascale-eval:", err)
-			os.Exit(1)
+			cli.Fail("adascale-eval", err)
 		}
 		res.Print(os.Stdout)
 	}

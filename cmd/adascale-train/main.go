@@ -13,56 +13,45 @@
 // system through the resilient pipeline on a small fault-injected split
 // and prints its health summary — a quick sanity gate that the system
 // degrades gracefully before the weights ship (-deadline-ms adds the
-// per-frame deadline).
+// per-frame deadline). The master -seed pins the dataset and the derived
+// fault stream (see internal/cli).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"adascale/internal/adascale"
+	"adascale/internal/cli"
 	"adascale/internal/faults"
-	"adascale/internal/parallel"
 	"adascale/internal/synth"
 )
 
 func main() {
-	dataset := flag.String("dataset", "vid", "dataset: vid or ytbb")
-	train := flag.Int("train", 60, "training snippets")
-	seed := flag.Int64("seed", 5, "dataset seed")
+	var common cli.Common
+	common.Register(60, -1)
 	kernels := flag.String("kernels", "1,3", "regressor branch kernels")
 	epochs := flag.Int("epochs", 2, "training epochs")
 	lr := flag.Float64("lr", 0.01, "base learning rate")
 	out := flag.String("o", "adascale-regressor.bin", "output weights file")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	faultRate := flag.Float64("faults", 0, "fault rate for the post-training resilience smoke check (0 = off)")
 	deadlineMS := flag.Float64("deadline-ms", 0, "per-frame deadline for the smoke check (0 = off)")
 	flag.Parse()
-	parallel.SetWorkers(*workers)
+	common.Apply()
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "adascale-train:", err)
-		os.Exit(1)
-	}
+	fail := func(err error) { cli.Fail("adascale-train", err) }
 
-	var cfg synth.Config
-	switch *dataset {
-	case "vid":
-		cfg = synth.VIDLike(*seed)
-	case "ytbb":
-		cfg = synth.MiniYTBBLike(*seed)
-	default:
-		fail(fmt.Errorf("unknown dataset %q", *dataset))
+	cfg, err := common.SynthConfig()
+	if err != nil {
+		fail(err)
 	}
-	ks, err := parseInts(*kernels)
+	ks, err := cli.ParseInts(*kernels)
 	if err != nil {
 		fail(err)
 	}
 
-	ds, err := synth.Generate(cfg, *train, 0)
+	ds, err := synth.Generate(cfg, common.Train, 0)
 	if err != nil {
 		fail(err)
 	}
@@ -88,7 +77,7 @@ func main() {
 	fmt.Printf("trained %v, weights saved to %s\n", sys.Regressor, *out)
 
 	if *faultRate > 0 || *deadlineMS > 0 {
-		if err := resilienceSmoke(sys, cfg, *faultRate, *deadlineMS); err != nil {
+		if err := resilienceSmoke(sys, cfg, common.FaultSeed(), *faultRate, *deadlineMS); err != nil {
 			fail(err)
 		}
 	}
@@ -97,12 +86,12 @@ func main() {
 // resilienceSmoke runs the freshly trained system through the resilient
 // pipeline on a small fault-injected split and prints the degradation
 // accounting — the last gate before the weights are considered usable.
-func resilienceSmoke(sys *adascale.System, cfg synth.Config, rate, deadlineMS float64) error {
+func resilienceSmoke(sys *adascale.System, cfg synth.Config, faultSeed int64, rate, deadlineMS float64) error {
 	ds, err := synth.Generate(cfg, 0, 8)
 	if err != nil {
 		return err
 	}
-	val, err := faults.Inject(ds.Val, faults.Mixed(rate, cfg.Seed+977))
+	val, err := faults.Inject(ds.Val, faults.Mixed(rate, faultSeed))
 	if err != nil {
 		return err
 	}
@@ -119,16 +108,4 @@ func resilienceSmoke(sys *adascale.System, cfg synth.Config, rate, deadlineMS fl
 	}
 	fmt.Println("resilience smoke: OK")
 	return nil
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, p := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad kernel list %q: %w", s, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }

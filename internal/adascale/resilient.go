@@ -187,144 +187,251 @@ func nextHigherScale(s int) int {
 	return s
 }
 
+// ResilientSession is the per-stream state of the degradation ladder: the
+// temporally-consistent scale schedule (target scale, deadline cap), the
+// last-good detections that propagation rungs re-emit, and the rolling
+// deadline budget. RunResilient drives one session over one snippet; the
+// serving layer (internal/serve) keeps one long-lived session per video
+// stream and feeds it frame by frame.
+//
+// A session is strictly sequential — Plan and Finish must alternate in
+// frame order on a single goroutine. It is NOT safe for concurrent use;
+// concurrency comes from running independent sessions on independent
+// streams.
+type ResilientSession struct {
+	cfg      ResilientConfig
+	overhead float64
+	budget   *simclock.Budget
+
+	targetScale   int
+	scaleCap      int // deadline enforcement lowers this
+	lastGoodScale int // last scale that produced detections (0 = none yet)
+	lastDets      []detect.Detection
+	propagated    int // consecutive propagated frames
+	degradedRun   int // consecutive content-degraded frames (frames-to-recover)
+}
+
+// NewResilientSession creates a fresh session for one stream. kernels is
+// the regressor's branch kernel set (charged as per-frame overhead).
+func NewResilientSession(kernels []int, cfg ResilientConfig) *ResilientSession {
+	cfg = cfg.withDefaults()
+	s := &ResilientSession{
+		cfg:      cfg,
+		overhead: simclock.RegressorMS(kernels),
+		budget:   simclock.NewBudget(cfg.DeadlineMS, cfg.BudgetWindow),
+	}
+	s.reset()
+	return s
+}
+
+// Reset returns the session to its just-constructed state so it can be
+// reused for a new stream: target scale back to InitialScale, deadline cap
+// released, last-good detections and scale cleared, budget emptied.
+// Without the reset, detections and scale state from the previous stream
+// would leak into the first frames of the next one.
+func (s *ResilientSession) Reset() { s.reset() }
+
+func (s *ResilientSession) reset() {
+	s.budget.Reset()
+	s.targetScale = InitialScale
+	s.scaleCap = regressor.MaxScale
+	s.lastGoodScale = 0
+	s.lastDets = nil
+	s.propagated = 0
+	s.degradedRun = 0
+}
+
+// Overhead returns the per-frame regressor overhead the session charges on
+// detector frames (the serving layer adds it to modelled service time).
+func (s *ResilientSession) Overhead() float64 { return s.overhead }
+
+// FramePlan is the scheduling decision for one frame: the scale to test at
+// and whether the detector pass is skipped (rung 1: sensor-observable
+// fault). The serving layer uses it to cost the frame before dispatching
+// the compute to a worker; Finish consumes it to complete the frame.
+type FramePlan struct {
+	// Scale is the applied test scale (target capped by the deadline cap).
+	Scale int
+
+	// Skip marks a sensor-observable fault: the detector never runs and
+	// the frame costs only fixed per-frame bookkeeping.
+	Skip bool
+
+	// JitterMS is the frame's extra arrival latency (FaultJitter).
+	JitterMS float64
+
+	health Health // partial accounting (Fault, DeadlineForced)
+}
+
+// Plan opens frame f: steps the deadline cap (rung 4, with the asymmetric
+// hysteresis), applies it to the target scale, and decides whether the
+// detector runs at all (rung 1). It must be followed by exactly one Finish
+// for the same frame.
+func (s *ResilientSession) Plan(f *synth.Frame) FramePlan {
+	var p FramePlan
+	if f.Fault != nil {
+		p.health.Fault = f.Fault.Kind
+		p.JitterMS = f.Fault.JitterMS
+	}
+
+	// Rung 4: deadline enforcement. While the rolling budget is exceeded,
+	// tighten the scale cap one rung; relax one rung only with wide
+	// headroom (> 50% of the deadline) — the asymmetric hysteresis keeps
+	// the cap from oscillating across a rung whose cost sits just under
+	// the deadline.
+	if s.cfg.DeadlineMS > 0 {
+		if s.budget.Exceeded() {
+			s.scaleCap = nextLowerScale(s.scaleCap)
+		} else if s.budget.Headroom() > 0.5*s.cfg.DeadlineMS && s.scaleCap < regressor.MaxScale {
+			s.scaleCap = nextHigherScale(s.scaleCap)
+		}
+	}
+	p.Scale = s.targetScale
+	if p.Scale > s.scaleCap {
+		p.Scale = s.scaleCap
+		p.health.DeadlineForced = true
+	}
+
+	// Rung 1: sensor-observable faults never reach the detector.
+	p.Skip = f.Fault.SensorObservable()
+	return p
+}
+
+// propagate re-emits the last good detections with confidence decay, or an
+// explicitly-empty frame once the horizon is exhausted (rungs 1 and 2).
+func (s *ResilientSession) propagate(h *Health) []detect.Detection {
+	if len(s.lastDets) == 0 || s.propagated >= s.cfg.MaxPropagate {
+		h.Fallback = FallbackEmpty
+		s.propagated++
+		return nil
+	}
+	s.propagated++
+	decay := math.Pow(s.cfg.PropagateDecay, float64(s.propagated))
+	out := make([]detect.Detection, len(s.lastDets))
+	for i, d := range s.lastDets {
+		d.Score *= decay
+		out[i] = d
+	}
+	h.Fallback = FallbackPropagate
+	h.Propagated = true
+	return out
+}
+
+// Finish closes the frame opened by Plan: validates the regressor
+// prediction (rung 3), applies propagation (rungs 1/2), updates the
+// last-good state and charges chargeMS against the deadline budget. For a
+// skipped plan r and t are ignored (pass nil, 0). chargeMS is the frame's
+// cost as the budget should see it — modelled runtime for the offline
+// runner, end-to-end latency for the serving layer, whose deadline is a
+// latency SLO rather than a compute budget.
+func (s *ResilientSession) Finish(f *synth.Frame, p FramePlan, r *rfcn.Result, t float64, chargeMS float64) FrameOutput {
+	h := p.health
+	if p.Skip || r == nil {
+		dets := s.propagate(&h)
+		s.degradedRun++
+		s.budget.Charge(chargeMS)
+		return FrameOutput{
+			Frame: f, Scale: p.Scale,
+			Detections: dets,
+			DetectorMS: simclock.DetectorBaseMS,
+			Health:     h,
+		}
+	}
+
+	dets := r.PlainDetections()
+
+	// Rung 3: validate the prediction for the next frame before emitting,
+	// so the fallback is visible on the frame that caused it. Out-of-range
+	// t is normal operation (DecodeScale clips it, Eq. 3); only a
+	// non-finite prediction is a fault.
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		h.PredictionClamped = true
+		if s.lastGoodScale > 0 {
+			h.Fallback = FallbackLastScale
+			s.targetScale = s.lastGoodScale
+		} else {
+			h.Fallback = FallbackDefaultScale
+			s.targetScale = InitialScale
+		}
+	} else {
+		s.targetScale = regressor.DecodeScale(t, p.Scale)
+	}
+
+	// Rung 2: an empty result propagates rather than emitting nothing
+	// when the frame is content-degraded, or when we were tracking
+	// objects a moment ago (detector flicker: in continuous video a
+	// sudden empty set after non-empty ones is itself a fault signal).
+	if len(dets) == 0 && (f.Fault.ContentFault() || len(s.lastDets) > 0) {
+		dets = s.propagate(&h)
+	} else if len(dets) > 0 {
+		s.lastDets = dets
+		s.lastGoodScale = p.Scale
+		s.propagated = 0
+	}
+
+	if f.Fault.ContentFault() {
+		s.degradedRun++
+	} else {
+		if s.degradedRun > 0 {
+			h.RecoveredAfter = s.degradedRun
+		}
+		s.degradedRun = 0
+	}
+
+	s.budget.Charge(chargeMS)
+	return FrameOutput{
+		Frame: f, Scale: p.Scale,
+		Detections: dets,
+		DetectorMS: r.RuntimeMS,
+		OverheadMS: s.overhead,
+		Health:     h,
+	}
+}
+
+// Step runs one frame through the full ladder on the calling goroutine:
+// Plan, the detector/regressor pass (unless skipped), Finish with the
+// frame's modelled cost. The offline runners are loops over Step.
+func (s *ResilientSession) Step(det *rfcn.Detector, reg *regressor.Regressor, f *synth.Frame) FrameOutput {
+	p := s.Plan(f)
+	if p.Skip {
+		return s.Finish(f, p, nil, 0, simclock.DetectorBaseMS+p.JitterMS)
+	}
+	r := det.DetectWithFeatures(f, p.Scale)
+	t := reg.Forward(r.Features)
+	return s.Finish(f, p, r, t, r.RuntimeMS+s.overhead+p.JitterMS)
+}
+
 // RunResilient runs Algorithm 1 over a snippet with the degradation
 // ladder. With a clean stream, a finite regressor and no deadline it emits
 // exactly what RunAdaScale emits (pinned by test), so resilience costs
 // nothing when nothing goes wrong.
 func RunResilient(det *rfcn.Detector, reg *regressor.Regressor, sn *synth.Snippet, cfg ResilientConfig) []FrameOutput {
-	cfg = cfg.withDefaults()
-	overhead := simclock.RegressorMS(reg.Kernels)
-	budget := simclock.NewBudget(cfg.DeadlineMS, cfg.BudgetWindow)
+	sess := NewResilientSession(reg.Kernels, cfg)
+	return runSession(sess, det, reg, sn)
+}
+
+// runSession drives an already-reset session over one snippet.
+func runSession(sess *ResilientSession, det *rfcn.Detector, reg *regressor.Regressor, sn *synth.Snippet) []FrameOutput {
 	outputs := make([]FrameOutput, 0, len(sn.Frames))
-
-	targetScale := InitialScale
-	scaleCap := regressor.MaxScale // deadline enforcement lowers this
-	lastGoodScale := 0             // last scale that produced detections (0 = none yet)
-	var lastDets []detect.Detection
-	propagated := 0  // consecutive propagated frames
-	degradedRun := 0 // consecutive content-degraded frames (frames-to-recover)
-
-	propagate := func(h *Health) []detect.Detection {
-		if len(lastDets) == 0 || propagated >= cfg.MaxPropagate {
-			h.Fallback = FallbackEmpty
-			propagated++
-			return nil
-		}
-		propagated++
-		decay := math.Pow(cfg.PropagateDecay, float64(propagated))
-		out := make([]detect.Detection, len(lastDets))
-		for i, d := range lastDets {
-			d.Score *= decay
-			out[i] = d
-		}
-		h.Fallback = FallbackPropagate
-		h.Propagated = true
-		return out
-	}
-
 	for i := range sn.Frames {
-		f := &sn.Frames[i]
-		var h Health
-		var jitterMS float64
-		if f.Fault != nil {
-			h.Fault = f.Fault.Kind
-			jitterMS = f.Fault.JitterMS
-		}
-
-		// Rung 4: deadline enforcement. While the rolling budget is
-		// exceeded, tighten the scale cap one rung; relax one rung only
-		// with wide headroom (> 50% of the deadline) — the asymmetric
-		// hysteresis keeps the cap from oscillating across a rung whose
-		// cost sits just under the deadline.
-		if cfg.DeadlineMS > 0 {
-			if budget.Exceeded() {
-				scaleCap = nextLowerScale(scaleCap)
-			} else if budget.Headroom() > 0.5*cfg.DeadlineMS && scaleCap < regressor.MaxScale {
-				scaleCap = nextHigherScale(scaleCap)
-			}
-		}
-		applied := targetScale
-		if applied > scaleCap {
-			applied = scaleCap
-			h.DeadlineForced = true
-		}
-
-		// Rung 1: sensor-observable faults never reach the detector; the
-		// frame costs only the fixed per-frame bookkeeping.
-		if f.Fault.SensorObservable() {
-			dets := propagate(&h)
-			degradedRun++
-			cost := simclock.DetectorBaseMS
-			budget.Charge(cost + jitterMS)
-			outputs = append(outputs, FrameOutput{
-				Frame: f, Scale: applied,
-				Detections: dets,
-				DetectorMS: cost,
-				Health:     h,
-			})
-			continue
-		}
-
-		r := det.DetectWithFeatures(f, applied)
-		dets := r.PlainDetections()
-
-		// Rung 3: validate the prediction for the next frame before
-		// emitting, so the fallback is visible on the frame that caused
-		// it. Out-of-range t is normal operation (DecodeScale clips it,
-		// Eq. 3); only a non-finite prediction is a fault.
-		t := reg.Forward(r.Features)
-		if math.IsNaN(t) || math.IsInf(t, 0) {
-			h.PredictionClamped = true
-			if lastGoodScale > 0 {
-				h.Fallback = FallbackLastScale
-				targetScale = lastGoodScale
-			} else {
-				h.Fallback = FallbackDefaultScale
-				targetScale = InitialScale
-			}
-		} else {
-			targetScale = regressor.DecodeScale(t, applied)
-		}
-
-		// Rung 2: an empty result propagates rather than emitting nothing
-		// when the frame is content-degraded, or when we were tracking
-		// objects a moment ago (detector flicker: in continuous video a
-		// sudden empty set after non-empty ones is itself a fault signal).
-		if len(dets) == 0 && (f.Fault.ContentFault() || len(lastDets) > 0) {
-			dets = propagate(&h)
-		} else if len(dets) > 0 {
-			lastDets = dets
-			lastGoodScale = applied
-			propagated = 0
-		}
-
-		if f.Fault.ContentFault() {
-			degradedRun++
-		} else {
-			if degradedRun > 0 {
-				h.RecoveredAfter = degradedRun
-			}
-			degradedRun = 0
-		}
-
-		budget.Charge(r.RuntimeMS + overhead + jitterMS)
-		outputs = append(outputs, FrameOutput{
-			Frame: f, Scale: applied,
-			Detections: dets,
-			DetectorMS: r.RuntimeMS,
-			OverheadMS: overhead,
-			Health:     h,
-		})
+		outputs = append(outputs, sess.Step(det, reg, &sn.Frames[i]))
 	}
 	return outputs
 }
 
 // ResilientRunner returns a factory for the resilient pipeline; detector
-// and regressor are cloned per worker like AdaScaleRunner.
+// and regressor are cloned per worker like AdaScaleRunner. Each worker
+// reuses one session across the snippets it processes, with a Reset
+// between snippets so no scale or detection state leaks from one stream
+// into the next (pinned by TestResilientSessionResetNoLeak).
 func ResilientRunner(det *rfcn.Detector, reg *regressor.Regressor, cfg ResilientConfig) RunnerFactory {
 	return func() SnippetRunner {
 		d, r := det.Clone(), reg.Clone()
-		return func(sn *synth.Snippet) []FrameOutput { return RunResilient(d, r, sn, cfg) }
+		sess := NewResilientSession(r.Kernels, cfg)
+		return func(sn *synth.Snippet) []FrameOutput {
+			sess.Reset()
+			return runSession(sess, d, r, sn)
+		}
 	}
 }
 

@@ -207,6 +207,49 @@ func TestResilientDeadlineForcesScaleDown(t *testing.T) {
 	}
 }
 
+// TestResilientSessionResetNoLeak is the cross-stream isolation
+// regression test: a session reused for a second stream (ResilientRunner
+// reuses one session per worker, the serving layer reuses sessions across
+// stream restarts) must behave exactly like a fresh session — no last-good
+// detections, scale schedule, deadline cap or budget state may leak from
+// the previous stream.
+func TestResilientSessionResetNoLeak(t *testing.T) {
+	ds, sys := system(t)
+	// A faulted first stream with a tight deadline maximises leakable
+	// state: propagated detections, a lowered scale cap, a full budget.
+	val := faulted(t, ds, 0.25, 31)
+	cfg := DefaultResilientConfig()
+	cfg.DeadlineMS = 40
+
+	sess := NewResilientSession(sys.Regressor.Kernels, cfg)
+	_ = runSession(sess, sys.Detector, sys.Regressor, &val[0])
+
+	// Reused with Reset: byte-identical to a fresh session on stream 2.
+	sess.Reset()
+	got := runSession(sess, sys.Detector, sys.Regressor, &val[1])
+	want := RunResilient(sys.Detector, sys.Regressor, &val[1], cfg)
+	assertSameOutputs(t, want, got)
+	if s, w := Summarize(got), Summarize(want); s != w {
+		t.Fatalf("reused session summary diverged:\n  %v\nvs %v", s, w)
+	}
+
+	// Reused WITHOUT Reset the leak is observable (this is the bug the
+	// Reset fixes): the first frame must start at InitialScale on a fresh
+	// stream, while the dirty session carries the previous stream's
+	// schedule and deadline cap.
+	dirty := runSession(sess, sys.Detector, sys.Regressor, &val[1])
+	if dirty[0].Scale == InitialScale && !dirty[0].Health.DeadlineForced {
+		t.Fatalf("dirty session started stream 2 at the clean initial state — leak test lost its teeth")
+	}
+
+	// The factory contract: every snippet a reused worker runner processes
+	// matches a fresh RunResilient (sequential reuse across sessions).
+	run := ResilientRunner(sys.Detector, sys.Regressor, cfg)()
+	for i := range val[:3] {
+		assertSameOutputs(t, RunResilient(sys.Detector, sys.Regressor, &val[i], cfg), run(&val[i]))
+	}
+}
+
 // TestRunDatasetPartialRecoversPanickingSnippet: one poisoned snippet is
 // recovered into a SnippetError with explicit FallbackPanic placeholder
 // frames; every other snippet is identical to the clean run.

@@ -1,0 +1,59 @@
+package cli
+
+import "testing"
+
+func TestSynthConfigSelectsDataset(t *testing.T) {
+	c := Common{Dataset: "vid", Seed: 7}
+	cfg, err := c.SynthConfig()
+	if err != nil || cfg.Seed != 7 {
+		t.Fatalf("vid config (%+v, %v), want seed 7", cfg, err)
+	}
+	c.Dataset = "ytbb"
+	if cfg, err = c.SynthConfig(); err != nil || cfg.Seed != 7 {
+		t.Fatalf("ytbb config (%+v, %v), want seed 7", cfg, err)
+	}
+	c.Dataset = "coco"
+	if _, err = c.SynthConfig(); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// TestDerivedSeedsIndependent pins the seeding contract: fault and load
+// seeds are pure functions of the master seed, distinct from it and from
+// each other, and sensitive to master-seed changes.
+func TestDerivedSeedsIndependent(t *testing.T) {
+	a := Common{Seed: 5}
+	if a.FaultSeed() != (Common{Seed: 5}).FaultSeed() {
+		t.Fatal("FaultSeed not deterministic")
+	}
+	if a.FaultSeed() == a.LoadSeed() {
+		t.Fatal("fault and load streams share a seed")
+	}
+	if a.FaultSeed() == a.Seed || a.LoadSeed() == a.Seed {
+		t.Fatal("derived seed equals the master seed")
+	}
+	b := Common{Seed: 6}
+	if a.FaultSeed() == b.FaultSeed() || a.LoadSeed() == b.LoadSeed() {
+		t.Fatal("derived seeds insensitive to the master seed")
+	}
+	if a.FaultSeed() < 0 || a.LoadSeed() < 0 {
+		t.Fatal("derived seed negative")
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	ints, err := ParseInts(" 1, 3 ,5")
+	if err != nil || len(ints) != 3 || ints[0] != 1 || ints[2] != 5 {
+		t.Fatalf("ParseInts = (%v, %v)", ints, err)
+	}
+	if _, err := ParseInts("1,x"); err == nil {
+		t.Fatal("bad int accepted")
+	}
+	floats, err := ParseFloats("0, 0.05,0.2,")
+	if err != nil || len(floats) != 3 || floats[1] != 0.05 {
+		t.Fatalf("ParseFloats = (%v, %v)", floats, err)
+	}
+	if _, err := ParseFloats("0.1,nope"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}

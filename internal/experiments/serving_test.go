@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServingSweepShape pins the serving experiment's acceptance shape: at
+// low concurrency p99 stays under a loose SLO with no drops; past capacity
+// the server sheds load (drops > 0) instead of letting latency diverge,
+// and the sweep itself is deterministic.
+func TestServingSweepShape(t *testing.T) {
+	b := testBundle(t)
+	cfg := ServingConfig{
+		StreamCounts:    []int{1, 24},
+		SLOs:            []float64{0, 60},
+		Workers:         2,
+		FPS:             6,
+		FramesPerStream: 20,
+	}
+	res, err := b.Serving(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows, want 4 (2 stream counts x 2 SLOs)", len(res.Rows))
+	}
+
+	rows := map[[2]int]ServingRow{}
+	for _, r := range res.Rows {
+		rows[[2]int{r.Streams, int(r.SLOMS)}] = r
+	}
+
+	low := rows[[2]int{1, 60}]
+	if low.DropRate != 0 {
+		t.Fatalf("drop rate %.2f at 1 stream on 2 workers; want 0", low.DropRate)
+	}
+	if low.P99 > 200 {
+		t.Fatalf("p99 %.1fms at 1 unloaded stream", low.P99)
+	}
+	if low.MAP <= 0 {
+		t.Fatal("zero mAP proxy on an unloaded stream")
+	}
+
+	over := rows[[2]int{24, 60}]
+	if over.DropRate == 0 {
+		t.Fatal("no drops at 24 streams on 2 workers; overload is not shedding")
+	}
+	if over.MAP >= low.MAP {
+		t.Fatalf("mAP proxy %.3f under overload >= %.3f unloaded: dropped frames are not being charged", over.MAP, low.MAP)
+	}
+	// SLO pressure under overload pushes the served scale down the ladder.
+	overOff := rows[[2]int{24, 0}]
+	if over.MeanScale >= overOff.MeanScale {
+		t.Fatalf("mean scale %.0f with a 60ms SLO >= %.0f without: the SLO is not stepping scale caps", over.MeanScale, overOff.MeanScale)
+	}
+
+	again, err := b.Serving(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if res.Rows[i] != again.Rows[i] {
+			t.Fatalf("row %d diverges across identical sweeps: %+v vs %+v", i, res.Rows[i], again.Rows[i])
+		}
+	}
+
+	var buf bytes.Buffer
+	res.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Serving (vid)", "streams", "p99(ms)", "drop%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printed sweep missing %q:\n%s", want, out)
+		}
+	}
+}

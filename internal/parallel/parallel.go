@@ -228,6 +228,95 @@ func MapWorkersPartialN[S, R any](workers, n int, newWorker func() S, fn func(S,
 	return out, errs
 }
 
+// Pool is a persistent bounded worker pool with per-worker state — the
+// serving substrate's counterpart to the per-call MapWorkers pools. Each
+// worker owns one S (detector/regressor clones in the serving layer),
+// built once at start; jobs submitted with Submit run on whichever worker
+// picks them up. Unlike the Map* helpers a Pool outlives any single batch:
+// the serving scheduler keeps it running for the lifetime of the server
+// and feeds it frames as streams make them ready.
+//
+// A job that panics is recovered: the panic is counted (Panics) and the
+// worker rebuilds its state with newWorker before picking up more work, so
+// one poisoned frame cannot take a worker — let alone the pool — down.
+// Jobs that must report completion should do so themselves (e.g. by
+// sending on a channel in a defer), since Submit is fire-and-forget.
+type Pool[S any] struct {
+	jobs    chan func(S)
+	wg      sync.WaitGroup
+	workers int
+	panics  atomic.Int64
+	closed  atomic.Bool
+}
+
+// NewPool starts workers goroutines, each holding its own newWorker()
+// state. workers < 1 means Workers(). The queue is unbuffered: Submit
+// hands the job directly to an idle worker or blocks until one frees —
+// backpressure belongs to the caller's queues, not a hidden channel.
+func NewPool[S any](workers int, newWorker func() S) *Pool[S] {
+	if workers < 1 {
+		workers = Workers()
+	}
+	p := &Pool[S]{jobs: make(chan func(S)), workers: workers}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(newWorker)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool[S]) Workers() int { return p.workers }
+
+// Panics returns the number of recovered job panics since start.
+func (p *Pool[S]) Panics() int { return int(p.panics.Load()) }
+
+func (p *Pool[S]) worker(newWorker func() S) {
+	defer p.wg.Done()
+	s := newWorker()
+	for job := range p.jobs {
+		if !p.runJob(s, job) {
+			// The panic may have left the state (e.g. a half-updated
+			// activation cache) corrupted: rebuild it.
+			s = newWorker()
+		}
+	}
+}
+
+// runJob isolates one job so a panic loses only that job.
+func (p *Pool[S]) runJob(s S, job func(S)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+	}()
+	job(s)
+	return true
+}
+
+// Submit enqueues one job. It blocks until a worker accepts it and returns
+// true, or returns false if the pool is closed (the job is not run).
+// Submitting concurrently with Close is the caller's race to avoid; the
+// scheduler's single-threaded event loop does both, so it never races.
+func (p *Pool[S]) Submit(job func(S)) bool {
+	if p.closed.Load() {
+		return false
+	}
+	p.jobs <- job
+	return true
+}
+
+// Close stops accepting jobs, waits for in-flight and queued jobs to
+// drain, and stops every worker goroutine. It is idempotent. After Close
+// returns, no pool goroutine remains (pinned by the scheduler-shutdown
+// leak test).
+func (p *Pool[S]) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.jobs)
+	}
+	p.wg.Wait()
+}
+
 // MapWorkersN is MapWorkers with an explicit worker count.
 func MapWorkersN[S, R any](workers, n int, newWorker func() S, fn func(S, int) R) []R {
 	out := make([]R, n)

@@ -240,3 +240,144 @@ func TestMapWorkersPartialCleanRunMatchesMapWorkers(t *testing.T) {
 		}
 	}
 }
+
+// --- Pool: the persistent serving-shape pool ---
+
+// TestPoolRunsJobsWithPerWorkerState: every submitted job runs, on a
+// worker state built by newWorker, and Close drains everything.
+func TestPoolRunsJobsWithPerWorkerState(t *testing.T) {
+	var built atomic.Int64
+	p := NewPool(3, func() int { return int(built.Add(1)) })
+	var ran atomic.Int64
+	var badState atomic.Int64
+	for i := 0; i < 50; i++ {
+		if !p.Submit(func(s int) {
+			if s < 1 || s > 3 {
+				badState.Add(1)
+			}
+			ran.Add(1)
+		}) {
+			t.Fatal("Submit refused on an open pool")
+		}
+	}
+	p.Close()
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d jobs, want 50", ran.Load())
+	}
+	if badState.Load() != 0 {
+		t.Fatalf("%d jobs saw a state no newWorker built", badState.Load())
+	}
+	if built.Load() != 3 {
+		t.Fatalf("built %d worker states, want exactly 3", built.Load())
+	}
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", p.Workers())
+	}
+}
+
+// TestPoolZeroJobs: a pool opened and closed without any Submit — the
+// serving shape of a server with no admitted streams — must not hang or
+// leak.
+func TestPoolZeroJobs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(4, func() struct{} { return struct{}{} })
+	p.Close()
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestPoolMoreWorkersThanJobs: worker count far above the number of jobs
+// (an over-provisioned server on a quiet stream set) still runs every job
+// exactly once and drains cleanly.
+func TestPoolMoreWorkersThanJobs(t *testing.T) {
+	p := NewPool(16, func() struct{} { return struct{}{} })
+	var ran atomic.Int64
+	for i := 0; i < 3; i++ {
+		p.Submit(func(struct{}) { ran.Add(1) })
+	}
+	p.Close()
+	if ran.Load() != 3 {
+		t.Fatalf("ran %d jobs, want 3", ran.Load())
+	}
+}
+
+// TestPoolPanicRecoveryRebuildsState: a panicking job is counted, the
+// worker survives with a freshly built state, and later jobs still run.
+func TestPoolPanicRecoveryRebuildsState(t *testing.T) {
+	var built atomic.Int64
+	p := NewPool(1, func() int { return int(built.Add(1)) })
+	done := make(chan int, 2)
+	p.Submit(func(int) { panic("poisoned frame") })
+	p.Submit(func(s int) { done <- s })
+	p.Close()
+	if p.Panics() != 1 {
+		t.Fatalf("Panics() = %d, want 1", p.Panics())
+	}
+	if got := <-done; got != 2 {
+		t.Fatalf("job after panic saw state %d, want the rebuilt state 2", got)
+	}
+}
+
+// TestPoolCloseIdempotentAndRefusesLateSubmits: double Close is safe and
+// Submit after Close reports false without running the job.
+func TestPoolCloseIdempotentAndRefusesLateSubmits(t *testing.T) {
+	p := NewPool(2, func() struct{} { return struct{}{} })
+	p.Close()
+	p.Close()
+	if p.Submit(func(struct{}) { t.Error("job ran on a closed pool") }) {
+		t.Fatal("Submit on a closed pool must return false")
+	}
+}
+
+// TestPoolShutdownNoGoroutineLeak is the scheduler-shutdown contract:
+// cancelling mid-stream (Close with jobs still flowing from another
+// goroutine's perspective) leaves no pool goroutine behind, asserted with
+// a NumGoroutine delta.
+func TestPoolShutdownNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		p := NewPool(8, func() struct{} { return struct{}{} })
+		for i := 0; i < 100; i++ {
+			p.Submit(func(struct{}) { time.Sleep(50 * time.Microsecond) })
+		}
+		p.Close() // mid-stream: workers still draining when Close starts
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+// assertNoGoroutineLeak waits (with retries: exiting goroutines need a
+// beat to be reaped) until the goroutine count is back at or below the
+// baseline, and fails after a bounded patience.
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMapWorkersPartialZeroItemsAndExcessWorkers covers the remaining
+// serving shapes on the batch API: zero items (no worker state is built)
+// and worker count above item count.
+func TestMapWorkersPartialZeroItemsAndExcessWorkers(t *testing.T) {
+	out, errs := MapWorkersPartialN(4, 0, func() int { t.Error("newWorker ran"); return 0 },
+		func(int, int) int { return 0 })
+	if len(out) != 0 || len(errs) != 0 {
+		t.Fatalf("zero items: out %d errs %d", len(out), len(errs))
+	}
+	out, errs = MapWorkersPartialN(32, 3, func() int { return 0 }, func(_, i int) int { return i * i })
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}

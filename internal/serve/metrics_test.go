@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsCountersAndGauges(t *testing.T) {
+	m := NewMetrics()
+	if m.Counter("missing") != 0 || m.Gauge("missing") != 0 {
+		t.Fatal("unset counter/gauge not zero")
+	}
+	m.Inc("frames/served", 3)
+	m.Inc("frames/served", 2)
+	if got := m.Counter("frames/served"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	m.Set("time/final_ms", 12.5)
+	if got := m.Gauge("time/final_ms"); got != 12.5 {
+		t.Fatalf("gauge = %v, want 12.5", got)
+	}
+	m.SetMax("queue/peak_depth", 3)
+	m.SetMax("queue/peak_depth", 1)
+	m.SetMax("queue/peak_depth", 7)
+	if got := m.Gauge("queue/peak_depth"); got != 7 {
+		t.Fatalf("SetMax gauge = %v, want 7", got)
+	}
+	// SetMax must also establish a gauge whose first value is negative.
+	m.SetMax("neg", -4)
+	if got := m.Gauge("neg"); got != -4 {
+		t.Fatalf("SetMax first value = %v, want -4", got)
+	}
+}
+
+func TestMetricsQuantilesExact(t *testing.T) {
+	m := NewMetrics()
+	if m.Quantile("empty", 0.5) != 0 || m.Mean("empty") != 0 || m.Count("empty") != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	// 1..100 inserted out of order: nearest-rank quantiles are exact.
+	for _, v := range []float64{50, 1, 100, 99} {
+		m.Observe("lat", v)
+	}
+	for v := 2.0; v <= 98; v++ {
+		if v != 50 && v != 99 {
+			m.Observe("lat", v)
+		}
+	}
+	if n := m.Count("lat"); n != 100 {
+		t.Fatalf("count = %d, want 100", n)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100}, {0.01, 1},
+	} {
+		if got := m.Quantile("lat", tc.q); got != tc.want {
+			t.Fatalf("p%v = %v, want %v", tc.q*100, got, tc.want)
+		}
+	}
+	if got := m.Mean("lat"); got != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", got)
+	}
+}
+
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	build := func(order []string) *Metrics {
+		m := NewMetrics()
+		for _, k := range order {
+			m.Inc("c/"+k, 1)
+			m.Set("g/"+k, 2)
+			m.Observe("h/"+k, 3)
+		}
+		return m
+	}
+	a := build([]string{"x", "a", "m"}).Snapshot()
+	b := build([]string{"m", "x", "a"}).Snapshot()
+	if a != b {
+		t.Fatalf("snapshot depends on insertion order:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{"counter c/a", "gauge   g/m", "hist    h/x", "p99="} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, a)
+		}
+	}
+	// Sections appear in fixed counter → gauge → hist order.
+	ci, gi, hi := strings.Index(a, "counter"), strings.Index(a, "gauge"), strings.Index(a, "hist")
+	if !(ci < gi && gi < hi) {
+		t.Fatalf("sections out of order in:\n%s", a)
+	}
+	if NewMetrics().Snapshot() != "" {
+		t.Fatal("empty registry renders a non-empty snapshot")
+	}
+}

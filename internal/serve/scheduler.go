@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+
+	"adascale/internal/adascale"
+	"adascale/internal/parallel"
+	"adascale/internal/simclock"
+	"adascale/internal/synth"
+)
+
+// The central scheduler: a single-goroutine discrete-event loop over
+// virtual time. Three event kinds exist — frame completions, frame
+// arrivals, metric ticks — processed in (time, kind, stream, seq) order,
+// so the whole schedule is a deterministic function of the arrival
+// schedule and the per-session scale state. Completions sort before
+// same-instant arrivals so a worker freed at t can serve a frame arriving
+// at t; ticks sort last so a snapshot at t observes all of t's work.
+//
+// Real compute runs ahead asynchronously on the parallel.Pool; the loop
+// blocks on a frame's result only when its virtual completion fires. The
+// virtual in-service count never exceeds the pool's worker count, so a
+// Submit can never deadlock behind jobs whose results the loop has not
+// yet consumed.
+const (
+	kindCompletion = iota
+	kindArrival
+	kindTick
+)
+
+// event is one scheduled occurrence on the virtual clock.
+type event struct {
+	timeMS float64
+	kind   int
+	stream int // index into sessions/streams (not the stream ID)
+	seq    int // arrival index or dispatch counter; stabilises ordering
+}
+
+// eventHeap is a min-heap over (timeMS, kind, stream, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.timeMS != b.timeMS {
+		return a.timeMS < b.timeMS
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.stream != b.stream {
+		return a.stream < b.stream
+	}
+	return a.seq < b.seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
+
+// eventLoop is the scheduler state for one Run.
+type eventLoop struct {
+	cfg      Config
+	metrics  *Metrics
+	pool     *parallel.Pool[workerState]
+	streams  []Stream
+	sessions []*session
+
+	events      eventHeap
+	clockMS     float64
+	busy        int // frames virtually in service (≤ cfg.Workers)
+	dispatchSeq int
+}
+
+// run drives the simulation to completion.
+func (l *eventLoop) run() {
+	for i := range l.streams {
+		for j := range l.streams[i].Frames {
+			l.events.push(event{
+				timeMS: l.streams[i].Frames[j].ArrivalMS,
+				kind:   kindArrival, stream: i, seq: j,
+			})
+		}
+	}
+	if l.cfg.TickMS > 0 && l.cfg.OnTick != nil {
+		l.events.push(event{timeMS: l.cfg.TickMS, kind: kindTick})
+	}
+	for l.events.Len() > 0 {
+		ev := l.events.pop()
+		l.clockMS = ev.timeMS
+		switch ev.kind {
+		case kindArrival:
+			l.arrive(ev)
+		case kindCompletion:
+			l.complete(ev)
+		case kindTick:
+			l.cfg.OnTick(l.clockMS, l.metrics)
+			// Re-arm only while the simulation still has events: a tick
+			// must never keep an otherwise-finished run alive.
+			if l.events.Len() > 0 {
+				l.events.push(event{timeMS: ev.timeMS + l.cfg.TickMS, kind: kindTick})
+			}
+		}
+	}
+}
+
+// arrive enqueues a frame under the bounded drop-oldest policy.
+func (l *eventLoop) arrive(ev event) {
+	s := l.sessions[ev.stream]
+	tf := l.streams[ev.stream].Frames[ev.seq]
+	l.metrics.Inc("frames/offered", 1)
+	if dropped := s.push(queuedFrame{frame: tf.Frame, arrivalMS: tf.ArrivalMS}, l.cfg.QueueDepth); dropped != nil {
+		l.metrics.Inc("frames/dropped", 1)
+		l.metrics.Inc(fmt.Sprintf("stream/%d/dropped", s.id), 1)
+	}
+	l.metrics.Observe("queue/depth", float64(len(s.queue)))
+	l.metrics.SetMax("queue/peak_depth", float64(len(s.queue)))
+	l.dispatch()
+}
+
+// dispatch starts frames while serving capacity and ready streams remain.
+// Among ready streams it picks the earliest-arrived head frame (lowest
+// stream index on ties) — FIFO across streams, so no stream starves.
+func (l *eventLoop) dispatch() {
+	for l.busy < l.cfg.Workers {
+		best := -1
+		for i, s := range l.sessions {
+			if !s.ready() {
+				continue
+			}
+			if best < 0 || s.queue[0].arrivalMS < l.sessions[best].queue[0].arrivalMS {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		l.start(best)
+	}
+}
+
+// start dispatches the head frame of session index i: plans the scale,
+// costs the frame on the virtual clock, and (unless the plan skips the
+// detector) ships the compute to the pool.
+func (l *eventLoop) start(i int) {
+	s := l.sessions[i]
+	qf := s.pop()
+	plan := s.sess.Plan(qf.frame)
+	inf := &inflightFrame{frame: qf.frame, plan: plan, arrivalMS: qf.arrivalMS, startMS: l.clockMS}
+
+	var serviceMS float64
+	if plan.Skip {
+		// Rung 1: a sensor-observable fault costs only fixed bookkeeping
+		// and never reaches a worker.
+		serviceMS = simclock.DetectorBaseMS + plan.JitterMS
+	} else {
+		serviceMS = simclock.DetectMS(qf.frame.W, qf.frame.H, plan.Scale) + s.sess.Overhead() + plan.JitterMS
+		inf.res = make(chan computeResult, 1)
+		frame, scale, res := qf.frame, plan.Scale, inf.res
+		l.pool.Submit(func(w workerState) {
+			// A panicking frame must still deliver a result — the loop
+			// blocks on res at the completion event — and must still
+			// count against the pool (state rebuild), hence the re-panic.
+			defer func() {
+				if r := recover(); r != nil {
+					res <- computeResult{err: fmt.Errorf("serve: frame compute panicked: %v", r)}
+					panic(r)
+				}
+			}()
+			r := w.det.DetectWithFeatures(frame, scale)
+			res <- computeResult{r: r, t: w.reg.Forward(r.Features)}
+		})
+	}
+
+	s.inflight = inf
+	l.busy++
+	l.metrics.Observe("queue/wait_ms", l.clockMS-qf.arrivalMS)
+	l.events.push(event{timeMS: l.clockMS + serviceMS, kind: kindCompletion, stream: i, seq: l.dispatchSeq})
+	l.dispatchSeq++
+}
+
+// complete finishes the in-flight frame of session index ev.stream: joins
+// the worker's result, closes the frame through the resilient ladder with
+// its end-to-end latency as the budget charge (the SLO rung), and records
+// the serving metrics.
+func (l *eventLoop) complete(ev event) {
+	s := l.sessions[ev.stream]
+	inf := s.inflight
+	s.inflight = nil
+	l.busy--
+
+	latency := l.clockMS - inf.arrivalMS
+	var out adascale.FrameOutput
+	switch {
+	case inf.res == nil:
+		l.metrics.Inc("frames/skipped", 1)
+		out = s.sess.Finish(inf.frame, inf.plan, nil, 0, latency)
+	default:
+		cr := <-inf.res
+		if cr.err != nil {
+			// A poisoned frame degrades like a sensed fault: the session
+			// propagates its last good detections with explicit
+			// accounting, and the panic is counted — one bad frame must
+			// not take down the stream, let alone the server.
+			l.metrics.Inc("frames/panic", 1)
+			out = s.sess.Finish(inf.frame, inf.plan, nil, 0, latency)
+		} else {
+			out = s.sess.Finish(inf.frame, inf.plan, cr.r, cr.t, latency)
+		}
+	}
+	s.outputs = append(s.outputs, out)
+
+	l.metrics.Inc("frames/served", 1)
+	l.metrics.Inc(fmt.Sprintf("stream/%d/served", s.id), 1)
+	l.metrics.Inc(fmt.Sprintf("scale/%d", out.Scale), 1)
+	l.metrics.Observe("latency/ms", latency)
+	l.metrics.Observe("service/ms", l.clockMS-inf.startMS)
+	if out.Health.Fault != synth.FaultNone {
+		l.metrics.Inc("fault/"+out.Health.Fault.String(), 1)
+	}
+	if out.Health.Fallback != adascale.FallbackNone {
+		l.metrics.Inc("fallback/"+out.Health.Fallback.String(), 1)
+	}
+	if l.cfg.SLOMS > 0 && latency > l.cfg.SLOMS {
+		s.sloMiss++
+		l.metrics.Inc("slo/miss", 1)
+		l.metrics.Inc(fmt.Sprintf("stream/%d/slo_miss", s.id), 1)
+	}
+	l.dispatch()
+}

@@ -1,0 +1,233 @@
+// Package serve is the multi-stream inference server over the AdaScale
+// pipeline: N concurrent video sessions, each wrapping a resilient
+// per-stream scale-state session (internal/adascale.ResilientSession),
+// fed through bounded per-stream frame queues with an explicit drop-oldest
+// policy, scheduled onto the persistent worker pool (internal/parallel.Pool,
+// per-worker detector/regressor clones) by a central event loop.
+//
+// Time is virtual. The scheduler is a discrete-event simulation over the
+// modelled runtime clock (internal/simclock): arrivals come from the
+// deterministic load generator (loadgen.go), service times are the
+// modelled detector cost at the scale the session chose, and every metric
+// — frame latency percentiles, queue depths, drops, SLO misses — is
+// derived from virtual timestamps. Real CPU work (the behavioural
+// detector and the regressor forward pass) still fans out across real
+// goroutines with per-worker clones; only its *scheduling* is virtual.
+// The event loop consumes each result at the frame's virtual completion,
+// so the served output stream, the final metrics registry and its text
+// snapshot are byte-identical across runs and machine core counts — the
+// determinism contract the serving experiments and the serve-smoke gate
+// assert.
+//
+// Per-stream latency SLOs reuse the PR 2 hysteresis machinery unchanged:
+// the session's simclock.Budget is charged with each frame's end-to-end
+// latency instead of its compute cost, so a stream that keeps missing its
+// SLO walks its scale cap down the S_reg ladder one rung at a time (and
+// back up only with wide headroom). Overload therefore degrades scale
+// first and coverage second (drop-oldest), and never stalls the server.
+package serve
+
+import (
+	"fmt"
+
+	"adascale/internal/adascale"
+	"adascale/internal/parallel"
+	"adascale/internal/regressor"
+	"adascale/internal/rfcn"
+	"adascale/internal/synth"
+)
+
+// Config parameterises the server.
+type Config struct {
+	// Workers is the serving capacity: the number of frames in service at
+	// once, and the size of the real compute pool backing them. 0 means
+	// parallel.Workers().
+	Workers int
+
+	// QueueDepth bounds each stream's arrival queue; an arrival beyond it
+	// drops the oldest queued frame. 0 means 8.
+	QueueDepth int
+
+	// MaxStreams is the admission-control capacity: streams beyond it are
+	// rejected at Run start (sessions/rejected metric, Report.Rejected).
+	// 0 means unlimited.
+	MaxStreams int
+
+	// SLOMS is the per-frame end-to-end latency SLO (virtual ms). While a
+	// stream's rolling mean latency exceeds it, the stream's scale cap
+	// steps down the S_reg ladder (the PR 2 hysteresis). 0 disables SLO
+	// enforcement.
+	SLOMS float64
+
+	// Resilient tunes each session's degradation ladder. Its DeadlineMS
+	// is overridden by SLOMS: in the serving layer the deadline budget
+	// tracks latency, not compute.
+	Resilient adascale.ResilientConfig
+
+	// TickMS emits a periodic OnTick callback every TickMS of virtual
+	// time (0 disables) — how the serve command prints periodic metric
+	// snapshots at deterministic instants.
+	TickMS float64
+
+	// OnTick, if set, is called from the event loop at every tick with
+	// the current virtual time and the live metrics registry.
+	OnTick func(simMS float64, m *Metrics)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = parallel.Workers()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	c.Resilient.DeadlineMS = c.SLOMS
+	return c
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.SLOMS < 0 {
+		return fmt.Errorf("serve: negative SLO %v ms", c.SLOMS)
+	}
+	if c.MaxStreams < 0 {
+		return fmt.Errorf("serve: negative MaxStreams %d", c.MaxStreams)
+	}
+	if c.TickMS < 0 {
+		return fmt.Errorf("serve: negative TickMS %v", c.TickMS)
+	}
+	return nil
+}
+
+// Server owns the admitted sessions and the compute pool for one run.
+type Server struct {
+	cfg Config
+	det *rfcn.Detector
+	reg *regressor.Regressor
+}
+
+// New creates a server for a trained system. The detector and regressor
+// are cloned per pool worker at Run time; the originals are not touched
+// by the serving loop.
+func New(det *rfcn.Detector, reg *regressor.Regressor, cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg.withDefaults(), det: det, reg: reg}, nil
+}
+
+// StreamReport is one admitted stream's serving outcome.
+type StreamReport struct {
+	ID int
+
+	// Outputs are the served frames in arrival order, with full resilient
+	// Health accounting (identical semantics to the offline runners).
+	Outputs []adascale.FrameOutput
+
+	// Dropped lists the frames evicted by the drop-oldest policy; they
+	// were never served.
+	Dropped []*synth.Frame
+
+	// SLOMisses counts served frames whose end-to-end latency exceeded
+	// the SLO.
+	SLOMisses int
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	// Streams holds one report per admitted stream, in stream-ID order.
+	Streams []StreamReport
+
+	// Rejected lists the stream IDs refused admission (capacity).
+	Rejected []int
+
+	// Metrics is the final registry; its Snapshot() is deterministic.
+	Metrics *Metrics
+
+	// DurationMS is the virtual time of the last completion.
+	DurationMS float64
+
+	// Summary folds every served frame's Health in stream-ID order.
+	Summary adascale.HealthSummary
+}
+
+// Served returns all served outputs flattened in stream-ID order.
+func (r *Report) Served() []adascale.FrameOutput {
+	var out []adascale.FrameOutput
+	for i := range r.Streams {
+		out = append(out, r.Streams[i].Outputs...)
+	}
+	return out
+}
+
+// TotalDropped sums dropped frames across streams.
+func (r *Report) TotalDropped() int {
+	n := 0
+	for i := range r.Streams {
+		n += len(r.Streams[i].Dropped)
+	}
+	return n
+}
+
+// workerState is one pool worker's private clones; the nn layers cache
+// activations and are not safe to share, but every clone computes
+// identical values, so which worker serves which frame cannot affect any
+// result.
+type workerState struct {
+	det *rfcn.Detector
+	reg *regressor.Regressor
+}
+
+// Run serves the given streams to completion and returns the report.
+// Admission control runs first: with MaxStreams > 0, streams beyond the
+// capacity (in slice order) are rejected outright — a rejected session
+// fails fast instead of silently degrading every admitted one.
+func (s *Server) Run(streams []Stream) *Report {
+	m := NewMetrics()
+	rep := &Report{Metrics: m}
+
+	admitted := streams
+	if s.cfg.MaxStreams > 0 && len(streams) > s.cfg.MaxStreams {
+		admitted = streams[:s.cfg.MaxStreams]
+		for _, st := range streams[s.cfg.MaxStreams:] {
+			rep.Rejected = append(rep.Rejected, st.ID)
+		}
+	}
+	m.Inc("sessions/accepted", int64(len(admitted)))
+	m.Inc("sessions/rejected", int64(len(rep.Rejected)))
+
+	sessions := make([]*session, len(admitted))
+	for i, st := range admitted {
+		sessions[i] = &session{
+			id:   st.ID,
+			sess: adascale.NewResilientSession(s.reg.Kernels, s.cfg.Resilient),
+		}
+	}
+
+	pool := parallel.NewPool(s.cfg.Workers, func() workerState {
+		return workerState{det: s.det.Clone(), reg: s.reg.Clone()}
+	})
+	defer pool.Close()
+
+	loop := &eventLoop{
+		cfg:      s.cfg,
+		metrics:  m,
+		pool:     pool,
+		streams:  admitted,
+		sessions: sessions,
+	}
+	loop.run()
+
+	rep.DurationMS = loop.clockMS
+	m.Set("time/final_ms", loop.clockMS)
+	for _, sess := range sessions {
+		rep.Streams = append(rep.Streams, StreamReport{
+			ID:        sess.id,
+			Outputs:   sess.outputs,
+			Dropped:   sess.dropped,
+			SLOMisses: sess.sloMiss,
+		})
+	}
+	rep.Summary = adascale.Summarize(rep.Served())
+	return rep
+}

@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adascale/internal/adascale"
+	"adascale/internal/regressor"
+	"adascale/internal/synth"
+)
+
+var (
+	buildOnce sync.Once
+	sharedDS  *synth.Dataset
+	sharedSys *adascale.System
+)
+
+// system builds one small trained system shared across the package's tests.
+func system(t *testing.T) (*synth.Dataset, *adascale.System) {
+	t.Helper()
+	buildOnce.Do(func() {
+		cfg := synth.VIDLike(5)
+		ds, err := synth.Generate(cfg, 12, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedDS = ds
+		sharedSys = adascale.Build(ds, adascale.DefaultBuildConfig())
+	})
+	return sharedDS, sharedSys
+}
+
+// load generates a standard arrival schedule over the validation snippets.
+func load(t *testing.T, ds *synth.Dataset, streams int, fps float64, frames int, seed int64) []Stream {
+	t.Helper()
+	out, err := GenLoad(ds.Val, LoadConfig{Streams: streams, FPS: fps, FramesPerStream: frames, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func newServer(t *testing.T, sys *adascale.System, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(sys.Detector, sys.Regressor, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestGenLoadDeterministicAndOrdered pins the load generator's contract:
+// same config twice gives the identical schedule, arrivals are strictly
+// increasing per stream, and distinct streams draw distinct schedules.
+func TestGenLoadDeterministicAndOrdered(t *testing.T) {
+	ds, _ := system(t)
+	a := load(t, ds, 3, 30, 40, 7)
+	b := load(t, ds, 3, 30, 40, 7)
+	for i := range a {
+		if len(a[i].Frames) != 40 {
+			t.Fatalf("stream %d: %d frames, want 40", i, len(a[i].Frames))
+		}
+		prev := 0.0
+		for j := range a[i].Frames {
+			af, bf := a[i].Frames[j], b[i].Frames[j]
+			if af.Frame != bf.Frame || af.ArrivalMS != bf.ArrivalMS {
+				t.Fatalf("stream %d frame %d: schedules diverge across identical runs", i, j)
+			}
+			if af.ArrivalMS <= prev {
+				t.Fatalf("stream %d frame %d: arrival %v not after %v", i, j, af.ArrivalMS, prev)
+			}
+			prev = af.ArrivalMS
+		}
+	}
+	if a[0].Frames[0].ArrivalMS == a[1].Frames[0].ArrivalMS {
+		t.Fatal("streams 0 and 1 share an arrival schedule; per-stream seeds are not independent")
+	}
+	if _, err := GenLoad(ds.Val, LoadConfig{Streams: 0, FPS: 30, FramesPerStream: 1}); err == nil {
+		t.Fatal("zero streams accepted")
+	}
+	if _, err := GenLoad(nil, LoadConfig{Streams: 1, FPS: 30, FramesPerStream: 1}); err == nil {
+		t.Fatal("empty snippet corpus accepted")
+	}
+}
+
+// TestServeDeterministicSnapshots pins the tentpole's determinism
+// contract: two runs with the same seed and config produce byte-identical
+// final metric snapshots and identical served outputs, even though real
+// compute fans out across pool goroutines.
+func TestServeDeterministicSnapshots(t *testing.T) {
+	ds, sys := system(t)
+	cfg := Config{Workers: 4, QueueDepth: 4, SLOMS: 100, Resilient: adascale.DefaultResilientConfig()}
+	run := func() *Report {
+		return newServer(t, sys, cfg).Run(load(t, ds, 8, 30, 25, 5))
+	}
+	a, b := run(), run()
+	snapA, snapB := a.Metrics.Snapshot(), b.Metrics.Snapshot()
+	if snapA == "" {
+		t.Fatal("empty metrics snapshot")
+	}
+	if snapA != snapB {
+		t.Fatalf("snapshots diverge across identical runs:\n--- run A ---\n%s\n--- run B ---\n%s", snapA, snapB)
+	}
+	av, bv := a.Served(), b.Served()
+	if len(av) == 0 || len(av) != len(bv) {
+		t.Fatalf("served %d and %d frames across identical runs", len(av), len(bv))
+	}
+	for i := range av {
+		if av[i].Scale != bv[i].Scale || len(av[i].Detections) != len(bv[i].Detections) {
+			t.Fatalf("output %d diverges across identical runs", i)
+		}
+	}
+	for _, want := range []string{"frames/served", "latency/ms", "sessions/accepted"} {
+		if !strings.Contains(snapA, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, snapA)
+		}
+	}
+}
+
+// TestServeUnloadedNoDrops: at a rate well inside capacity, every offered
+// frame is served — no drops, no SLO misses under a generous SLO.
+func TestServeUnloadedNoDrops(t *testing.T) {
+	ds, sys := system(t)
+	cfg := Config{Workers: 4, QueueDepth: 8, SLOMS: 500, Resilient: adascale.DefaultResilientConfig()}
+	streams := load(t, ds, 4, 5, 20, 3)
+	rep := newServer(t, sys, cfg).Run(streams)
+
+	offered := 4 * 20
+	if got := rep.Metrics.Counter("frames/offered"); got != int64(offered) {
+		t.Fatalf("offered %d frames, want %d", got, offered)
+	}
+	if n := rep.TotalDropped(); n != 0 {
+		t.Fatalf("dropped %d frames at an unloaded rate", n)
+	}
+	if got := len(rep.Served()); got != offered {
+		t.Fatalf("served %d frames, want %d", got, offered)
+	}
+	if n := rep.Metrics.Counter("slo/miss"); n != 0 {
+		t.Fatalf("%d SLO misses at an unloaded rate with a generous SLO", n)
+	}
+	for _, sr := range rep.Streams {
+		if len(sr.Outputs) != 20 {
+			t.Fatalf("stream %d served %d frames, want 20", sr.ID, len(sr.Outputs))
+		}
+	}
+}
+
+// TestServeOverloadDropsNotStalls: under heavy overload the server sheds
+// load via drop-oldest and still terminates with every offered frame
+// accounted for; served-frame latency stays bounded because the queue
+// keeps only the freshest frames.
+func TestServeOverloadDropsNotStalls(t *testing.T) {
+	ds, sys := system(t)
+	cfg := Config{Workers: 1, QueueDepth: 4, Resilient: adascale.DefaultResilientConfig()}
+	streams := load(t, ds, 4, 50, 30, 9)
+
+	done := make(chan *Report, 1)
+	go func() { done <- newServer(t, sys, cfg).Run(streams) }()
+	var rep *Report
+	select {
+	case rep = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("overloaded server failed to terminate: it must drop, not stall")
+	}
+
+	offered, served, dropped := rep.Metrics.Counter("frames/offered"), int64(len(rep.Served())), int64(rep.TotalDropped())
+	if offered != 4*30 {
+		t.Fatalf("offered %d frames, want %d", offered, 4*30)
+	}
+	if dropped == 0 {
+		t.Fatal("no drops under 15x overload; backpressure is not engaging")
+	}
+	if served+dropped != offered {
+		t.Fatalf("served %d + dropped %d != offered %d", served, dropped, offered)
+	}
+	if dropped != rep.Metrics.Counter("frames/dropped") {
+		t.Fatalf("report counts %d drops, metrics %d", dropped, rep.Metrics.Counter("frames/dropped"))
+	}
+	// Drop-oldest bounds staleness independently of how many frames were
+	// offered: a served frame never waits behind more than the system's
+	// whole backlog capacity — streams × (QueueDepth + 1 in flight) frames
+	// at worst-case (~80ms + jitter) service. Unbounded FIFO growth would
+	// blow through this, i.e. a stall in disguise.
+	backlogMS := float64(4*(4+1)) * 120
+	if maxLat := rep.Metrics.Quantile("latency/ms", 1.0); maxLat > backlogMS {
+		t.Fatalf("max latency %.1fms exceeds backlog capacity %.0fms: queue is growing without bound", maxLat, backlogMS)
+	}
+}
+
+// TestServeSLOStepsScaleDown: a stream that keeps missing its latency SLO
+// must walk its scale cap down the S_reg ladder (PR 2 hysteresis wired to
+// end-to-end latency), recording DeadlineForced health and slo/miss.
+func TestServeSLOStepsScaleDown(t *testing.T) {
+	ds, sys := system(t)
+	tight := Config{Workers: 1, QueueDepth: 4, SLOMS: 40, Resilient: adascale.DefaultResilientConfig()}
+	rep := newServer(t, sys, tight).Run(load(t, ds, 2, 25, 30, 11))
+
+	if rep.Metrics.Counter("slo/miss") == 0 {
+		t.Fatal("no SLO misses under overload with a 40ms SLO")
+	}
+	forced, minScale := 0, regressor.MaxScale
+	for _, o := range rep.Served() {
+		if o.Health.DeadlineForced {
+			forced++
+		}
+		if o.Scale < minScale {
+			minScale = o.Scale
+		}
+	}
+	if forced == 0 {
+		t.Fatal("SLO pressure never stepped a scale cap down (no DeadlineForced frames)")
+	}
+	if minScale >= regressor.MaxScale {
+		t.Fatalf("min served scale %d: cap stepping never left the top of the ladder", minScale)
+	}
+
+	// The same workload with no SLO never reports deadline enforcement.
+	loose := Config{Workers: 1, QueueDepth: 4, Resilient: adascale.DefaultResilientConfig()}
+	for _, o := range newServer(t, sys, loose).Run(load(t, ds, 2, 25, 30, 11)).Served() {
+		if o.Health.DeadlineForced {
+			t.Fatal("DeadlineForced frame with SLO enforcement disabled")
+		}
+	}
+}
+
+// TestServeMatchesOfflineRunner pins serving semantics to the offline
+// resilient runner: one unloaded stream over exactly one snippet, no SLO,
+// must emit the same scales, detections and health as RunResilient.
+func TestServeMatchesOfflineRunner(t *testing.T) {
+	ds, sys := system(t)
+	frames := len(ds.Val[0].Frames)
+	streams := load(t, ds, 1, 2, frames, 13)
+	rep := newServer(t, sys, Config{Workers: 2, QueueDepth: 8, Resilient: adascale.DefaultResilientConfig()}).Run(streams)
+	want := adascale.RunResilient(sys.Detector, sys.Regressor, &ds.Val[0], adascale.DefaultResilientConfig())
+
+	got := rep.Streams[0].Outputs
+	if len(got) != len(want) {
+		t.Fatalf("served %d frames, offline runner produced %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Frame != w.Frame || g.Scale != w.Scale || g.Health != w.Health {
+			t.Fatalf("frame %d: served (scale %d, health %+v), offline (scale %d, health %+v)",
+				i, g.Scale, g.Health, w.Scale, w.Health)
+		}
+		if len(g.Detections) != len(w.Detections) {
+			t.Fatalf("frame %d: %d detections, offline %d", i, len(g.Detections), len(w.Detections))
+		}
+		for k := range w.Detections {
+			if g.Detections[k] != w.Detections[k] {
+				t.Fatalf("frame %d det %d: %+v, offline %+v", i, k, g.Detections[k], w.Detections[k])
+			}
+		}
+	}
+}
+
+// TestServeAdmissionControl: streams past MaxStreams are rejected up
+// front, reported, counted, and never served.
+func TestServeAdmissionControl(t *testing.T) {
+	ds, sys := system(t)
+	cfg := Config{Workers: 2, MaxStreams: 2, Resilient: adascale.DefaultResilientConfig()}
+	rep := newServer(t, sys, cfg).Run(load(t, ds, 5, 10, 6, 17))
+
+	if len(rep.Streams) != 2 {
+		t.Fatalf("admitted %d streams, want 2", len(rep.Streams))
+	}
+	if len(rep.Rejected) != 3 {
+		t.Fatalf("rejected %v, want streams 2..4", rep.Rejected)
+	}
+	for i, id := range rep.Rejected {
+		if id != i+2 {
+			t.Fatalf("rejected %v, want [2 3 4]", rep.Rejected)
+		}
+	}
+	if got := rep.Metrics.Counter("sessions/rejected"); got != 3 {
+		t.Fatalf("sessions/rejected = %d, want 3", got)
+	}
+	if got := len(rep.Served()); got != 2*6 {
+		t.Fatalf("served %d frames, want %d from the admitted streams only", got, 2*6)
+	}
+}
+
+// TestServeConfigValidation rejects nonsense configs at New time.
+func TestServeConfigValidation(t *testing.T) {
+	_, sys := system(t)
+	for _, cfg := range []Config{{SLOMS: -1}, {MaxStreams: -2}, {TickMS: -5}} {
+		if _, err := New(sys.Detector, sys.Regressor, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestServeTicksFireDeterministically: ticks fire at exact virtual
+// instants, strictly increasing, and stop with the simulation.
+func TestServeTicksFireDeterministically(t *testing.T) {
+	ds, sys := system(t)
+	var ticks []float64
+	cfg := Config{
+		Workers: 2, QueueDepth: 4, TickMS: 250,
+		Resilient: adascale.DefaultResilientConfig(),
+		OnTick: func(simMS float64, m *Metrics) {
+			if m.Snapshot() == "" {
+				t.Error("tick observed an empty registry")
+			}
+			ticks = append(ticks, simMS)
+		},
+	}
+	rep := newServer(t, sys, cfg).Run(load(t, ds, 2, 10, 10, 21))
+	if len(ticks) == 0 {
+		t.Fatal("no ticks fired")
+	}
+	for i, at := range ticks {
+		if want := 250 * float64(i+1); at != want {
+			t.Fatalf("tick %d at %vms, want %vms", i, at, want)
+		}
+	}
+	if last := ticks[len(ticks)-1]; last > rep.DurationMS+250 {
+		t.Fatalf("tick at %vms outlived the %vms simulation", last, rep.DurationMS)
+	}
+}
+
+// TestServeNoGoroutineLeak: a full serve run, including its compute pool,
+// leaves no goroutines behind.
+func TestServeNoGoroutineLeak(t *testing.T) {
+	ds, sys := system(t)
+	streams := load(t, ds, 3, 20, 10, 23)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		newServer(t, sys, Config{Workers: 4, QueueDepth: 4, Resilient: adascale.DefaultResilientConfig()}).Run(streams)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"adascale/internal/adascale"
+	"adascale/internal/rfcn"
+	"adascale/internal/synth"
+)
+
+// session is one admitted video stream: its resilient scale-state session,
+// its bounded frame queue, and its serving accounting. All access happens
+// on the scheduler's event-loop goroutine; only the compute (detector +
+// regressor forward) leaves it.
+type session struct {
+	id   int
+	sess *adascale.ResilientSession
+
+	// queue is the bounded per-stream FIFO of frames that have arrived
+	// but not been dispatched. cap(queue) is the configured depth.
+	queue []queuedFrame
+
+	// inflight is non-nil while one frame of this stream is being served;
+	// streams are strictly sequential (frame k+1's scale depends on frame
+	// k's regressor output), so at most one frame is in flight.
+	inflight *inflightFrame
+
+	outputs []adascale.FrameOutput
+	dropped []*synth.Frame
+	sloMiss int
+}
+
+// queuedFrame is one enqueued arrival.
+type queuedFrame struct {
+	frame     *synth.Frame
+	arrivalMS float64
+}
+
+// inflightFrame tracks a dispatched frame until its completion event.
+type inflightFrame struct {
+	frame     *synth.Frame
+	plan      adascale.FramePlan
+	arrivalMS float64
+	startMS   float64
+
+	// res delivers the worker's compute result; nil for skipped frames
+	// (sensor-observable faults never reach a worker).
+	res chan computeResult
+}
+
+// computeResult is what a pool worker hands back to the event loop: the
+// detector pass, the regressor's scale prediction, or the recovered panic
+// if the frame poisoned the worker.
+type computeResult struct {
+	r   *rfcn.Result
+	t   float64
+	err error
+}
+
+// push enqueues an arrival under the bounded drop-oldest policy and
+// reports the dropped frame, if any. Dropping the oldest (not the newest)
+// is the right policy for live video: the newest frame is the one closest
+// to the present, and AdaScale's temporal consistency recovers from a gap
+// faster than from serving stale frames late.
+func (s *session) push(f queuedFrame, depth int) (dropped *synth.Frame) {
+	if len(s.queue) >= depth {
+		dropped = s.queue[0].frame
+		s.dropped = append(s.dropped, dropped)
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+	}
+	s.queue = append(s.queue, f)
+	return dropped
+}
+
+// pop removes and returns the head of the queue.
+func (s *session) pop() queuedFrame {
+	f := s.queue[0]
+	copy(s.queue, s.queue[1:])
+	s.queue = s.queue[:len(s.queue)-1]
+	return f
+}
+
+// ready reports whether the session has a dispatchable frame.
+func (s *session) ready() bool { return s.inflight == nil && len(s.queue) > 0 }

@@ -107,6 +107,18 @@ func (b *Budget) Charge(ms float64) {
 	b.next = (b.next + 1) % len(b.window)
 }
 
+// Reset clears every recorded charge, returning the budget to its
+// just-constructed state (deadline and window length are kept). A session
+// reused for a new stream must reset its budget: rolling charges from the
+// previous stream would otherwise force the scale cap down on a stream
+// that has not yet cost anything.
+func (b *Budget) Reset() {
+	for i := range b.window {
+		b.window[i] = 0
+	}
+	b.next, b.filled, b.sum = 0, 0, 0
+}
+
 // MeanMS returns the rolling mean per-frame cost (0 before any charge).
 func (b *Budget) MeanMS() float64 {
 	if b.filled == 0 {

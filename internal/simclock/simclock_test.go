@@ -96,6 +96,31 @@ func TestBudgetRollingMean(t *testing.T) {
 	}
 }
 
+func TestBudgetReset(t *testing.T) {
+	b := NewBudget(50, 4)
+	for i := 0; i < 6; i++ {
+		b.Charge(90)
+	}
+	if !b.Exceeded() {
+		t.Fatal("setup: budget should be exceeded before reset")
+	}
+	b.Reset()
+	if b.Exceeded() {
+		t.Fatal("reset budget must not report exceeded")
+	}
+	if got := b.MeanMS(); got != 0 {
+		t.Fatalf("reset budget mean = %v, want 0", got)
+	}
+	if got := b.DeadlineMS(); got != 50 {
+		t.Fatalf("reset must keep the deadline: got %v", got)
+	}
+	// The reset budget behaves exactly like a fresh one.
+	b.Charge(40)
+	if got := b.MeanMS(); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("post-reset mean = %v, want 40", got)
+	}
+}
+
 func TestBudgetDisabled(t *testing.T) {
 	b := NewBudget(0, 4)
 	b.Charge(1e9)

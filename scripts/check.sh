@@ -24,4 +24,10 @@ go test -race -timeout 60m ./...
 # coordinates, out-of-range classes) far beyond what the unit tests pin.
 go test -run='^$' -fuzz='^FuzzNMS$' -fuzztime=5s ./internal/detect
 go test -run='^$' -fuzz='^FuzzEvaluate$' -fuzztime=5s ./internal/eval
+
+# End-to-end serving gate under the race detector: 200 simulated frames
+# across 4 streams at an unloaded rate must serve with zero drops and a
+# non-empty metrics snapshot (-smoke exits non-zero otherwise).
+go run -race ./cmd/adascale-serve -streams 4 -frames 50 -rate 5 \
+	-slo-ms 0 -tick-ms 0 -train 8 -val 4 -workers 4 -seed 5 -smoke
 echo "tier-1 gate: OK"
