@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz-smoke serve-smoke
+.PHONY: check fmt vet build test race bench fuzz-smoke serve-smoke benchdiff golden
 
-check: fmt vet build race fuzz-smoke serve-smoke
+check: fmt vet build race fuzz-smoke serve-smoke benchdiff
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -26,9 +26,11 @@ test:
 # The race run is the point of the gate: the dataset runner, label
 # generation and snippet synthesis fan out across the worker pool by
 # default, and -race proves the per-worker clones isolate the stateful
-# nn layers.
+# nn layers. -shuffle=on randomizes test order within each package so
+# leaked package-level state (e.g. a SetWorkers override that survived a
+# t.Fatal) fails loudly instead of depending on declaration order.
 race:
-	$(GO) test -race -timeout 60m ./...
+	$(GO) test -race -shuffle=on -timeout 60m ./...
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem .
@@ -39,6 +41,7 @@ bench:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzNMS$$ -fuzztime=5s ./internal/detect
 	$(GO) test -run=^$$ -fuzz=^FuzzEvaluate$$ -fuzztime=5s ./internal/eval
+	$(GO) test -run=^$$ -fuzz=^FuzzLoadgen$$ -fuzztime=5s ./internal/serve
 
 # End-to-end serving gate under the race detector: 200 simulated frames
 # across 4 streams at an unloaded rate must serve with zero drops and a
@@ -46,3 +49,16 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) run -race ./cmd/adascale-serve -streams 4 -frames 50 -rate 5 \
 		-slo-ms 0 -tick-ms 0 -train 8 -val 4 -workers 4 -seed 5 -smoke
+
+# Benchmark-report gate: the committed BENCH_4.json baseline must parse,
+# carry a known schema, and self-compare clean (zero regressions). Fresh
+# reports are compared against it out-of-band (see README) because
+# wall-clock deltas across machines are not a commit gate.
+benchdiff:
+	./scripts/benchdiff.sh BENCH_4.json BENCH_4.json
+
+# Regenerate the golden conformance traces after a deliberate behaviour
+# change, then regenerate the benchmark baseline to match.
+golden:
+	$(GO) test ./internal/regress -update
+	$(GO) test ./internal/regress

@@ -22,6 +22,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	adascale.SetWorkers(3)
+	t.Cleanup(func() { adascale.SetWorkers(0) })
 	if got := adascale.Workers(); got != 3 {
 		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
 	}

@@ -188,7 +188,7 @@ func BenchmarkRunDatasetParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			adascale.SetWorkers(workers)
-			defer adascale.SetWorkers(0)
+			b.Cleanup(func() { adascale.SetWorkers(0) })
 			factory := adascale.AdaScaleRunner(benchSys.Detector, benchSys.Regressor)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -215,7 +215,7 @@ func BenchmarkMatMulParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			adascale.SetWorkers(workers)
-			defer adascale.SetWorkers(0)
+			b.Cleanup(func() { adascale.SetWorkers(0) })
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				tensor.MatMulInto(dst, a, c)

@@ -1,11 +1,15 @@
 // Command adascale-bench regenerates the paper's tables and figures on the
-// synthetic substrate.
+// synthetic substrate, and doubles as the repo's benchmark regression
+// tool.
 //
 // Usage:
 //
 //	adascale-bench [-dataset vid|ytbb] [-exp all|table1,table2,...] \
 //	               [-train N] [-val N] [-seed N] [-workers N] \
-//	               [-faults 0,0.05,0.1,0.2] [-deadline-ms 0]
+//	               [-faults 0,0.05,0.1,0.2] [-deadline-ms 0] \
+//	               [-json report.json] [-baseline BENCH_4.json] \
+//	               [-bench-time 0] [-max-time-regress 25]
+//	adascale-bench -diff baseline.json -diff-to candidate.json
 //
 // Experiments: table1, table2, table3, fig5, fig6, fig7, fig9, fig10,
 // qualitative, robustness, serving. The robustness sweep injects the
@@ -14,18 +18,156 @@
 // -deadline-ms). The serving sweep loads the multi-stream server at
 // increasing stream counts against latency SLOs. The master -seed pins the
 // dataset and every derived fault/load stream (see internal/cli).
+//
+// -json measures every selected experiment (warmup + timed iterations, see
+// internal/regress.Measure) and writes a machine-readable report: ns/op,
+// allocs/op and the experiment's accuracy metrics (mAP, mean scale, ...),
+// stamped with the machine context. -baseline compares the fresh report
+// against a committed one and exits non-zero on a time regression beyond
+// -max-time-regress percent or any regression of a guarded (map*) accuracy
+// metric. -diff/-diff-to compare two existing report files without running
+// anything — the mode scripts/benchdiff.sh wraps.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"adascale/internal/cli"
 	"adascale/internal/experiments"
+	"adascale/internal/regress"
 )
+
+// experimentRun is one named experiment: it regenerates the result and
+// reports the accuracy metrics the regression gate tracks for it.
+type experimentRun struct {
+	name string
+	run  func() (experiments.Printer, map[string]float64, error)
+}
+
+// experimentRuns enumerates every experiment in canonical order with its
+// metric extraction. Metric keys with the "map" prefix are guarded by
+// regress.Compare (any decrease is a regression); the rest are trajectory.
+func experimentRuns(b *experiments.Bundle, rates []float64, deadlineMS float64) []experimentRun {
+	ok := func(p experiments.Printer, m map[string]float64) (experiments.Printer, map[string]float64, error) {
+		return p, m, nil
+	}
+	return []experimentRun{
+		{"qualitative", func() (experiments.Printer, map[string]float64, error) {
+			q := b.Qualitative(8)
+			return ok(q, map[string]float64{"downscale_fraction": q.DownscaleFraction})
+		}},
+		{"table1", func() (experiments.Printer, map[string]float64, error) {
+			t1 := b.Table1()
+			ada := t1.Rows[len(t1.Rows)-1]
+			return ok(t1, map[string]float64{
+				"map/adascale":        ada.MAP,
+				"mean_scale/adascale": ada.MeanScale,
+				"runtime_ms/adascale": ada.RuntimeMS,
+				"runtime_ms/ss_fixed": t1.Rows[0].RuntimeMS,
+			})
+		}},
+		{"table2", func() (experiments.Printer, map[string]float64, error) {
+			t2 := b.Table2()
+			full := t2.Entries[0]
+			return ok(t2, map[string]float64{
+				"map/ada_full_strain":        full.Ada.MAP,
+				"runtime_ms/ada_full_strain": full.Ada.RuntimeMS,
+			})
+		}},
+		{"table3", func() (experiments.Printer, map[string]float64, error) {
+			t3 := b.Table3()
+			k13 := t3.Entries[1] // kernels {1,3}, the paper's default
+			return ok(t3, map[string]float64{
+				"map/kernels13":        k13.Ada.MAP,
+				"mean_scale/kernels13": k13.Ada.MeanScale,
+			})
+		}},
+		{"fig5", func() (experiments.Printer, map[string]float64, error) {
+			f5 := b.Fig5()
+			mean, n := 0.0, 0
+			for ci := range f5.Categories {
+				mean += f5.AP[ci][len(f5.Methods)-1] // MS/AdaScale
+				n++
+			}
+			if n > 0 {
+				mean /= float64(n)
+			}
+			return ok(f5, map[string]float64{"map/fig5_adascale_mean": mean})
+		}},
+		{"fig6", func() (experiments.Printer, map[string]float64, error) {
+			f6 := b.Fig6()
+			last := len(f6.Methods) - 1
+			return ok(f6, map[string]float64{
+				"tp_ratio/adascale": f6.TotalTP[last],
+				"fp_ratio/adascale": f6.TotalFP[last],
+			})
+		}},
+		{"fig7", func() (experiments.Printer, map[string]float64, error) {
+			f7 := b.Fig7()
+			m := map[string]float64{}
+			for _, p := range f7.Points {
+				if p.Name == "R-FCN+AdaScale" {
+					m["map/rfcn_adascale"] = p.MAP
+					m["fps/rfcn_adascale"] = p.FPS
+				}
+			}
+			return ok(f7, m)
+		}},
+		{"fig9", func() (experiments.Printer, map[string]float64, error) {
+			f9 := b.Fig9()
+			m := map[string]float64{}
+			for _, c := range f9.Clips {
+				lo, hi := c.Scales[0], c.Scales[0]
+				for _, s := range c.Scales {
+					if s < lo {
+						lo = s
+					}
+					if s > hi {
+						hi = s
+					}
+				}
+				key := strings.ReplaceAll(c.Name, " ", "_")
+				m["scale_spread/"+key] = float64(hi - lo)
+			}
+			return ok(f9, m)
+		}},
+		{"fig10", func() (experiments.Printer, map[string]float64, error) {
+			f10 := b.Fig10()
+			return ok(f10, map[string]float64{
+				"mean_scale/full_strain": f10.Entries[0].MeanScale,
+			})
+		}},
+		{"robustness", func() (experiments.Printer, map[string]float64, error) {
+			res, err := b.Robustness(rates, deadlineMS)
+			if err != nil {
+				return nil, nil, err
+			}
+			worst := res.Rows[len(res.Rows)-1]
+			return ok(res, map[string]float64{
+				"map/resilient_worst":        worst.Resilient.MAP,
+				"map/naive_worst":            worst.Naive.MAP,
+				"runtime_ms/resilient_worst": worst.Resilient.RuntimeMS,
+			})
+		}},
+		{"serving", func() (experiments.Printer, map[string]float64, error) {
+			res, err := b.Serving(experiments.DefaultServingConfig())
+			if err != nil {
+				return nil, nil, err
+			}
+			last := res.Rows[len(res.Rows)-1]
+			return ok(res, map[string]float64{
+				"map/serving_last":       last.MAP,
+				"p99_ms/serving_last":    last.P99,
+				"drop_rate/serving_last": last.DropRate,
+			})
+		}},
+	}
+}
 
 func main() {
 	var common cli.Common
@@ -33,10 +175,25 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments or 'all'")
 	faultRates := flag.String("faults", "0,0.05,0.1,0.2", "fault rates for the robustness sweep")
 	deadlineMS := flag.Float64("deadline-ms", 0, "per-frame deadline for the resilient runner (0 = off)")
+	jsonPath := flag.String("json", "", "write a machine-readable benchmark report (JSON) to this path")
+	baseline := flag.String("baseline", "", "compare the fresh report against this baseline report; exit non-zero on regression")
+	diffBase := flag.String("diff", "", "compare-only: baseline report file (use with -diff-to; runs no benchmarks)")
+	diffTo := flag.String("diff-to", "", "compare-only: candidate report file")
+	benchTime := flag.Duration("bench-time", 0, "minimum timed duration per benchmark in -json/-baseline mode (0 = one iteration)")
+	maxTimePct := flag.Float64("max-time-regress", 25, "allowed ns/op increase in percent before a comparison fails")
 	flag.Parse()
 	common.Apply()
 
 	fail := func(err error) { cli.Fail("adascale-bench", err) }
+	opts := regress.CompareOptions{MaxTimeRegressPct: *maxTimePct}
+
+	// Compare-only mode: no dataset, no benchmarks — just the gate.
+	if *diffBase != "" || *diffTo != "" {
+		if *diffBase == "" || *diffTo == "" {
+			fail(fmt.Errorf("-diff and -diff-to must be used together"))
+		}
+		os.Exit(runDiff(*diffBase, *diffTo, opts))
+	}
 
 	rates, err := cli.ParseFloats(*faultRates)
 	if err != nil {
@@ -61,36 +218,88 @@ func main() {
 	all := want["all"]
 	w := os.Stdout
 
-	run := func(name string, f func()) {
-		if !all && !want[name] {
-			return
-		}
-		start := time.Now()
-		f()
-		fmt.Fprintf(w, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	var report *regress.Report
+	if *jsonPath != "" || *baseline != "" {
+		report = regress.NewReport(map[string]string{
+			"dataset": b.Cfg.Dataset,
+			"train":   strconv.Itoa(b.Cfg.TrainSnippets),
+			"val":     strconv.Itoa(b.Cfg.ValSnippets),
+			"seed":    strconv.FormatInt(b.Cfg.Seed, 10),
+			"exp":     *exp,
+		})
 	}
 
-	run("qualitative", func() { b.Qualitative(8).Print(w) })
-	run("table1", func() { b.Table1().Print(w) })
-	run("table2", func() { b.Table2().Print(w) })
-	run("table3", func() { b.Table3().Print(w) })
-	run("fig5", func() { b.Fig5().Print(w) })
-	run("fig6", func() { b.Fig6().Print(w) })
-	run("fig7", func() { b.Fig7().Print(w) })
-	run("fig9", func() { b.Fig9().Print(w) })
-	run("fig10", func() { b.Fig10().Print(w) })
-	run("robustness", func() {
-		res, err := b.Robustness(rates, *deadlineMS)
+	for _, er := range experimentRuns(b, rates, *deadlineMS) {
+		if !all && !want[er.name] {
+			continue
+		}
+		start := time.Now()
+		var p experiments.Printer
+		var metrics map[string]float64
+		runOnce := func() {
+			var err error
+			if p, metrics, err = er.run(); err != nil {
+				fail(err)
+			}
+		}
+		if report != nil {
+			sample := regress.Measure(runOnce, *benchTime)
+			report.Add(er.name, sample, metrics)
+		} else {
+			runOnce()
+		}
+		p.Print(w)
+		fmt.Fprintf(w, "[%s completed in %v]\n\n", er.name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if report == nil {
+		return
+	}
+	if len(report.Entries) == 0 {
+		fail(fmt.Errorf("no experiments selected by -exp %q; nothing to report", *exp))
+	}
+	if *jsonPath != "" {
+		if err := report.WriteFile(*jsonPath); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(w, "benchmark report: %d entries written to %s\n", len(report.Entries), *jsonPath)
+	}
+	if *baseline != "" {
+		base, err := regress.LoadReport(*baseline)
 		if err != nil {
 			fail(err)
 		}
-		res.Print(w)
-	})
-	run("serving", func() {
-		res, err := b.Serving(experiments.DefaultServingConfig())
-		if err != nil {
-			fail(err)
+		regs := regress.Compare(base, report, opts)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "regression: %s\n", r)
 		}
-		res.Print(w)
-	})
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "benchdiff: OK — no regressions against %s (%d entries)\n", *baseline, len(base.Entries))
+	}
+}
+
+// runDiff compares two report files and returns the process exit code.
+func runDiff(basePath, candPath string, opts regress.CompareOptions) int {
+	base, err := regress.LoadReport(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adascale-bench: %v\n", err)
+		return 2
+	}
+	cand, err := regress.LoadReport(candPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adascale-bench: %v\n", err)
+		return 2
+	}
+	regs := regress.Compare(base, cand, opts)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "regression: %s\n", r)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) of %s against %s\n", len(regs), candPath, basePath)
+		return 1
+	}
+	fmt.Printf("benchdiff: OK — %d entries, no regressions (%s vs %s)\n", len(base.Entries), candPath, basePath)
+	return 0
 }

@@ -148,6 +148,7 @@ func TestResilientDeterministicAcrossWorkers(t *testing.T) {
 	factory := ResilientRunner(sys.Detector, sys.Regressor, cfg)
 	serial := RunDatasetSerial(val, factory())
 	ref := Summarize(serial)
+	t.Cleanup(func() { parallel.SetWorkers(0) }) // guard the t.Fatal paths below
 	for _, workers := range []int{1, 2, 5} {
 		parallel.SetWorkers(workers)
 		got := RunDataset(val, factory)
@@ -265,6 +266,7 @@ func TestRunDatasetPartialRecoversPanickingSnippet(t *testing.T) {
 			return run(sn)
 		}
 	}
+	t.Cleanup(func() { parallel.SetWorkers(0) }) // guard the t.Fatal paths below
 	for _, workers := range []int{1, 3} {
 		parallel.SetWorkers(workers)
 		outs, errs := RunDatasetPartial(ds.Val, factory)

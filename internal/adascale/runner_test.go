@@ -48,6 +48,7 @@ func TestRunDatasetParallelMatchesSerial(t *testing.T) {
 	}
 	for name, factory := range factories {
 		t.Run(name, func(t *testing.T) {
+			t.Cleanup(func() { parallel.SetWorkers(0) }) // guard the t.Fatal paths below
 			serial := RunDatasetSerial(ds.Val, factory())
 			for _, workers := range []int{2, 4, 7} {
 				parallel.SetWorkers(workers)

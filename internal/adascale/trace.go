@@ -1,0 +1,51 @@
+package adascale
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"adascale/internal/detect"
+)
+
+// This file is the canonical trace serialization the golden-trace
+// conformance suite (internal/regress) pins the pipelines with. A trace is
+// one line per frame: the scale decision Algorithm 1 made, a digest of the
+// emitted detections, the modelled cost and the Health accounting. The
+// format is append-only by convention — adding fields breaks every
+// committed golden, which is the point: any behavioural drift in the
+// per-frame decisions must show up as a reviewed golden diff, never as a
+// silent change.
+
+// TraceLine renders one frame's output as a canonical fixed-format record.
+// Every numeric field is formatted with explicit precision so the line is
+// byte-identical across runs, worker counts and machines whenever the
+// pipeline itself is deterministic.
+func TraceLine(o *FrameOutput) string {
+	return fmt.Sprintf("s%03d/%02d scale=%d dets=%d digest=%016x ms=%.3f fb=%s fault=%s",
+		o.Frame.SnippetID, o.Frame.Index, o.Scale, len(o.Detections),
+		DetectionDigest(o.Detections), o.TotalMS(), o.Health.Fallback, o.Health.Fault)
+}
+
+// FormatTrace renders an output stream as one TraceLine per frame.
+func FormatTrace(outputs []FrameOutput) string {
+	var b strings.Builder
+	for i := range outputs {
+		b.WriteString(TraceLine(&outputs[i]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DetectionDigest hashes a detection set into a 64-bit FNV-1a digest over
+// fixed-precision renderings of each box. Two detection sets that differ in
+// class, score (to 1e-4) or geometry (to 1e-2 px) digest differently; the
+// digest keeps golden traces compact without losing sensitivity to the
+// detections actually emitted.
+func DetectionDigest(dets []detect.Detection) uint64 {
+	h := fnv.New64a()
+	for _, d := range dets {
+		fmt.Fprintf(h, "%d|%.4f|%.2f,%.2f,%.2f,%.2f;", d.Class, d.Score, d.Box.X1, d.Box.Y1, d.Box.X2, d.Box.Y2)
+	}
+	return h.Sum64()
+}

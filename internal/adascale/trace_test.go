@@ -1,0 +1,87 @@
+package adascale
+
+import (
+	"strings"
+	"testing"
+
+	"adascale/internal/detect"
+	"adascale/internal/synth"
+)
+
+// TestTraceLineFormatStable pins the canonical trace grammar: the golden
+// conformance files (internal/regress/testdata/golden) are written in this
+// format, so any change here must be deliberate and regenerate them.
+func TestTraceLineFormatStable(t *testing.T) {
+	sn := synth.Snippet{ID: 12, Frames: make([]synth.Frame, 1)}
+	sn.Frames[0] = synth.Frame{SnippetID: 12, Index: 3}
+	o := FrameOutput{
+		Frame: &sn.Frames[0],
+		Scale: 480,
+		Detections: []detect.Detection{
+			{Box: detect.Box{X1: 1, Y1: 2, X2: 30, Y2: 40}, Class: 5, Score: 0.875},
+		},
+		DetectorMS: 50,
+		OverheadMS: 2,
+	}
+	got := TraceLine(&o)
+	want := "s012/03 scale=480 dets=1 digest=" // prefix before the hash
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("TraceLine = %q, want prefix %q", got, want)
+	}
+	if !strings.HasSuffix(got, " ms=52.000 fb=none fault=none") {
+		t.Fatalf("TraceLine suffix wrong: %q", got)
+	}
+	if got != TraceLine(&o) {
+		t.Fatal("TraceLine not reproducible")
+	}
+}
+
+// TestDetectionDigestSensitivity: the digest must move when any emitted
+// field moves, and must not depend on anything but the detections.
+func TestDetectionDigestSensitivity(t *testing.T) {
+	base := []detect.Detection{
+		{Box: detect.Box{X1: 1, Y1: 2, X2: 30, Y2: 40}, Class: 5, Score: 0.875},
+		{Box: detect.Box{X1: 5, Y1: 5, X2: 9, Y2: 9}, Class: 1, Score: 0.25},
+	}
+	ref := DetectionDigest(base)
+	if DetectionDigest(nil) == ref {
+		t.Fatal("empty set digests like a populated one")
+	}
+	mutations := []func(d []detect.Detection){
+		func(d []detect.Detection) { d[0].Class = 6 },
+		func(d []detect.Detection) { d[0].Score += 0.001 },
+		func(d []detect.Detection) { d[1].Box.X2 += 0.5 },
+		func(d []detect.Detection) { d[0], d[1] = d[1], d[0] }, // order matters
+	}
+	for i, mutate := range mutations {
+		dets := append([]detect.Detection(nil), base...)
+		mutate(dets)
+		if DetectionDigest(dets) == ref {
+			t.Errorf("mutation %d did not change the digest", i)
+		}
+	}
+	// GTIndex is diagnostic, not output: it must not affect the digest.
+	dets := append([]detect.Detection(nil), base...)
+	dets[0].GTIndex = 7
+	if DetectionDigest(dets) != ref {
+		t.Error("GTIndex leaked into the digest")
+	}
+}
+
+// TestFormatTraceOneLinePerFrame checks the stream serialization shape.
+func TestFormatTraceOneLinePerFrame(t *testing.T) {
+	sn := synth.Snippet{ID: 1, Frames: make([]synth.Frame, 3)}
+	var outs []FrameOutput
+	for i := range sn.Frames {
+		sn.Frames[i] = synth.Frame{SnippetID: 1, Index: i}
+		outs = append(outs, FrameOutput{Frame: &sn.Frames[i], Scale: 600})
+	}
+	got := FormatTrace(outs)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("FormatTrace emitted %d lines for 3 frames:\n%s", len(lines), got)
+	}
+	if FormatTrace(nil) != "" {
+		t.Fatal("empty stream must serialize to empty trace")
+	}
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+)
+
+// Printer is any experiment result that renders the paper-style report.
+// Every table and figure result in this package implements it, which is
+// what lets the golden-trace conformance suite (internal/regress) pin each
+// report's exact bytes and the bench command drive them uniformly.
+type Printer interface {
+	Print(io.Writer)
+}
+
+// Render returns a result's printed report as a string — the stable
+// serialization the golden files commit. Print methods write only values
+// derived from the deterministic pipeline (no timestamps, no map-order
+// iteration), so for a fixed bundle the rendering is byte-identical across
+// runs, machines and worker counts.
+func Render(p Printer) string {
+	var b strings.Builder
+	p.Print(&b)
+	return b.String()
+}

@@ -29,6 +29,7 @@ func TestInjectDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { parallel.SetWorkers(0) }) // guard the t.Fatal paths below
 	for _, workers := range []int{1, 2, 5} {
 		parallel.SetWorkers(workers)
 		got, err := Inject(snippets, cfg)

@@ -1,0 +1,122 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"adascale/internal/raster"
+)
+
+// TestEstimateRejectsMalformedPairs: nil or size-mismatched frames must
+// error, not panic — the DFF runner degrades on these instead of dying.
+func TestEstimateRejectsMalformedPairs(t *testing.T) {
+	im := raster.New(8, 8)
+	other := raster.New(8, 6)
+	cases := []struct {
+		name      string
+		prev, cur *raster.Image
+	}{
+		{"nil prev", nil, im},
+		{"nil cur", im, nil},
+		{"both nil", nil, nil},
+		{"height mismatch", im, other},
+		{"width mismatch", raster.New(6, 8), im},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if f, err := Estimate(tc.prev, tc.cur, 4, 1); err == nil {
+				t.Fatalf("Estimate accepted malformed pair, returned %+v", f)
+			}
+		})
+	}
+}
+
+// TestEstimateDegenerateGeometry: a 1×1 frame, a block larger than the
+// frame, and a sub-minimum block size must all produce a well-formed field
+// (single cell, zero motion for identical frames) rather than dividing by
+// zero or indexing out of range.
+func TestEstimateDegenerateGeometry(t *testing.T) {
+	cases := []struct {
+		name          string
+		w, h          int
+		block, radius int
+		wantCols      int
+		wantRows      int
+	}{
+		{"1x1 frame", 1, 1, 4, 1, 1, 1},
+		{"block larger than frame", 4, 4, 16, 1, 1, 1},
+		{"block below minimum", 6, 6, 1, 1, 3, 3}, // block clamps to 2
+		{"single row", 9, 1, 3, 2, 3, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			im := raster.New(tc.w, tc.h)
+			im.Fill(0.25)
+			f, err := Estimate(im, im, tc.block, tc.radius)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Cols != tc.wantCols || f.Rows != tc.wantRows {
+				t.Fatalf("grid %dx%d, want %dx%d", f.Cols, f.Rows, tc.wantCols, tc.wantRows)
+			}
+			if n := f.Cols * f.Rows; len(f.U) != n || len(f.V) != n || len(f.Residual) != n {
+				t.Fatalf("field slices sized %d/%d/%d, want %d", len(f.U), len(f.V), len(f.Residual), n)
+			}
+			// Identical frames: zero motion everywhere (ties prefer the
+			// smaller displacement), zero residual.
+			for i := range f.U {
+				if f.U[i] != 0 || f.V[i] != 0 {
+					t.Fatalf("cell %d reports motion (%v, %v) between identical frames", i, f.U[i], f.V[i])
+				}
+				if f.Residual[i] != 0 {
+					t.Fatalf("cell %d residual %v between identical frames", i, f.Residual[i])
+				}
+			}
+			if got := f.MeanMagnitude(); got != 0 {
+				t.Fatalf("MeanMagnitude = %v, want 0", got)
+			}
+		})
+	}
+}
+
+// TestFieldAtBorderCells pins exactly which cell each out-of-range pixel
+// query clamps to (flow_test.go checks non-panicking; this checks values).
+func TestFieldAtBorderCells(t *testing.T) {
+	f := &Field{Cols: 2, Rows: 2, Block: 4,
+		U: []float32{1, 2, 3, 4}, V: []float32{10, 20, 30, 40},
+		Residual: make([]float32, 4)}
+	cases := []struct {
+		name  string
+		x, y  int
+		wantU float32
+	}{
+		{"inside first cell", 0, 0, 1},
+		{"negative coords", -100, -100, 1},
+		{"past right edge", 1000, 0, 2},
+		{"past bottom edge", 0, 1000, 3},
+		{"past both edges", 1000, 1000, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u, v := f.At(tc.x, tc.y)
+			if u != tc.wantU || v != tc.wantU*10 {
+				t.Fatalf("At(%d, %d) = (%v, %v), want (%v, %v)", tc.x, tc.y, u, v, tc.wantU, tc.wantU*10)
+			}
+		})
+	}
+}
+
+// TestEmptyFieldStats: the zero-cell field (never produced by Estimate, but
+// reachable through manual construction) must not divide by zero.
+func TestEmptyFieldStats(t *testing.T) {
+	f := &Field{Block: 4}
+	if got := f.MeanMagnitude(); got != 0 {
+		t.Fatalf("MeanMagnitude on empty field = %v", got)
+	}
+	if got := f.MeanResidual(); got != 0 {
+		t.Fatalf("MeanResidual on empty field = %v", got)
+	}
+	if math.IsNaN(f.MeanMagnitude()) || math.IsNaN(f.MeanResidual()) {
+		t.Fatal("empty field stats produced NaN")
+	}
+}

@@ -1,0 +1,246 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the machine-readable benchmark side of the regression
+// subsystem: cmd/adascale-bench -json measures every experiment into a
+// Report, the committed BENCH_*.json files form the repo's performance
+// trajectory, and Compare is the gate that fails a candidate report on a
+// time regression beyond tolerance or on *any* regression of a guarded
+// accuracy metric. Wall-clock numbers are machine-specific — the Machine
+// block records the context they were measured in — while accuracy metrics
+// (mAP, mean scale) come from the deterministic pipeline and must
+// reproduce exactly on any machine.
+
+// SchemaVersion identifies the report layout; bump when fields change
+// incompatibly so old baselines fail loudly instead of comparing garbage.
+const SchemaVersion = 1
+
+// Machine records the hardware/runtime context a report was measured in.
+type Machine struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentMachine captures the running process's context.
+func CurrentMachine() Machine {
+	return Machine{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Sample is one measured benchmark: mean wall time and allocations per
+// operation over Iters timed iterations (after one untimed warmup).
+type Sample struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	Iters       int   `json:"iters"`
+}
+
+// Entry is one benchmark's record: its Sample plus the accuracy metrics
+// extracted from the experiment result it regenerated. Metric keys with
+// the "map" prefix are guarded (higher is better; any decrease beyond
+// tolerance fails Compare); all other keys are informational trajectory.
+type Entry struct {
+	Name string `json:"name"`
+	Sample
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is one full benchmark run.
+type Report struct {
+	Schema  int               `json:"schema"`
+	Machine Machine           `json:"machine"`
+	Config  map[string]string `json:"config,omitempty"`
+	Entries []Entry           `json:"entries"`
+}
+
+// NewReport creates an empty report stamped with the current machine.
+func NewReport(config map[string]string) *Report {
+	return &Report{Schema: SchemaVersion, Machine: CurrentMachine(), Config: config}
+}
+
+// Add appends one measured entry.
+func (r *Report) Add(name string, s Sample, metrics map[string]float64) {
+	r.Entries = append(r.Entries, Entry{Name: name, Sample: s, Metrics: metrics})
+}
+
+// Entry returns the named entry, or nil.
+func (r *Report) Entry(name string) *Entry {
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// WriteFile serializes the report as indented JSON with a trailing
+// newline (so the committed baseline diffs cleanly).
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads and validates a report file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("regress: %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("regress: %s: schema %d, want %d", path, r.Schema, SchemaVersion)
+	}
+	if len(r.Entries) == 0 {
+		return nil, fmt.Errorf("regress: %s: no benchmark entries", path)
+	}
+	return &r, nil
+}
+
+// Measure times one operation: one untimed warmup call (which also pays
+// any lazy training/memoisation), then timed iterations until minTime has
+// elapsed (at least one). Allocations are read from runtime.MemStats
+// deltas — coarse, but dependency-free and stable enough to catch
+// order-of-magnitude allocation regressions.
+func Measure(f func(), minTime time.Duration) Sample {
+	f() // warmup
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	startMallocs := ms.Mallocs
+	start := time.Now()
+	iters := 0
+	for {
+		f()
+		iters++
+		if time.Since(start) >= minTime {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	return Sample{
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		AllocsPerOp: int64(ms.Mallocs-startMallocs) / int64(iters),
+		Iters:       iters,
+	}
+}
+
+// GuardedMetric reports whether a metric key is an accuracy gate ("map"
+// prefix: mAP-like, higher is better) rather than informational.
+func GuardedMetric(key string) bool { return strings.HasPrefix(key, "map") }
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// MaxTimeRegressPct is the allowed ns/op increase over baseline in
+	// percent; <= 0 means the default 25. Wall time is noisy, so the
+	// tolerance is deliberately wide — the accuracy gate is the tight one.
+	MaxTimeRegressPct float64
+
+	// AccuracyTol absorbs float formatting noise on guarded metrics;
+	// <= 0 means 1e-9 (the pipeline is bit-deterministic, so any real
+	// change is far larger).
+	AccuracyTol float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.MaxTimeRegressPct <= 0 {
+		o.MaxTimeRegressPct = 25
+	}
+	if o.AccuracyTol <= 0 {
+		o.AccuracyTol = 1e-9
+	}
+	return o
+}
+
+// Regression is one comparator finding.
+type Regression struct {
+	Entry  string
+	Kind   string // "time", "accuracy", "missing-entry", "missing-metric"
+	Detail string
+}
+
+// String renders the finding for gate output.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s regression: %s", r.Entry, r.Kind, r.Detail)
+}
+
+// Compare gates a candidate report against a baseline: every baseline
+// entry must exist in the candidate, guarded accuracy metrics must not
+// decrease beyond tolerance, and ns/op must not grow beyond the time
+// tolerance. Entries or metrics only present in the candidate are fine
+// (coverage can grow, never silently shrink). Findings come back sorted by
+// entry name.
+func Compare(base, cand *Report, opts CompareOptions) []Regression {
+	opts = opts.withDefaults()
+	var regs []Regression
+	for _, be := range base.Entries {
+		ce := cand.Entry(be.Name)
+		if ce == nil {
+			regs = append(regs, Regression{Entry: be.Name, Kind: "missing-entry",
+				Detail: "benchmark present in baseline but absent from candidate"})
+			continue
+		}
+		if be.NsPerOp > 0 && ce.NsPerOp > 0 {
+			limit := float64(be.NsPerOp) * (1 + opts.MaxTimeRegressPct/100)
+			if float64(ce.NsPerOp) > limit {
+				regs = append(regs, Regression{Entry: be.Name, Kind: "time",
+					Detail: fmt.Sprintf("ns/op %d -> %d (+%.1f%%, tolerance %.0f%%)",
+						be.NsPerOp, ce.NsPerOp,
+						100*(float64(ce.NsPerOp)/float64(be.NsPerOp)-1), opts.MaxTimeRegressPct)})
+			}
+		}
+		for _, k := range sortedMetricKeys(be.Metrics) {
+			if !GuardedMetric(k) {
+				continue
+			}
+			cv, ok := ce.Metrics[k]
+			if !ok {
+				regs = append(regs, Regression{Entry: be.Name, Kind: "missing-metric",
+					Detail: fmt.Sprintf("guarded metric %q absent from candidate", k)})
+				continue
+			}
+			if bv := be.Metrics[k]; bv-cv > opts.AccuracyTol {
+				regs = append(regs, Regression{Entry: be.Name, Kind: "accuracy",
+					Detail: fmt.Sprintf("%s %.6f -> %.6f (-%.6f)", k, bv, cv, bv-cv)})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Entry != regs[j].Entry {
+			return regs[i].Entry < regs[j].Entry
+		}
+		return regs[i].Detail < regs[j].Detail
+	})
+	return regs
+}
+
+func sortedMetricKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,170 @@
+package regress
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *Report {
+	r := NewReport(map[string]string{"dataset": "vid"})
+	r.Add("table1", Sample{NsPerOp: 1000, AllocsPerOp: 50, Iters: 3},
+		map[string]float64{"map/adascale": 0.75, "mean_scale/adascale": 420})
+	r.Add("robustness", Sample{NsPerOp: 2000, AllocsPerOp: 80, Iters: 1},
+		map[string]float64{"map/resilient_worst": 0.60})
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := sampleReport()
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 || got.Schema != SchemaVersion {
+		t.Fatalf("round-trip lost data: %+v", got)
+	}
+	e := got.Entry("table1")
+	if e == nil || e.NsPerOp != 1000 || e.Metrics["map/adascale"] != 0.75 {
+		t.Fatalf("entry mangled: %+v", e)
+	}
+	if got.Config["dataset"] != "vid" {
+		t.Fatalf("config lost: %+v", got.Config)
+	}
+}
+
+func TestLoadReportRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"not-json.json": "ns/op 123",
+		"empty.json":    `{"schema": 1, "entries": []}`,
+		"schema.json":   `{"schema": 99, "entries": [{"name": "x"}]}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadReport(path); err == nil {
+			t.Errorf("%s: LoadReport accepted invalid report", name)
+		}
+	}
+	if _, err := LoadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadReport accepted a missing file")
+	}
+}
+
+func TestCompareIdenticalReportsClean(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	if regs := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("self-comparison found regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsTimeRegression(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	cand.Entries[0].NsPerOp = 1300 // +30% > default 25% tolerance
+	regs := Compare(base, cand, CompareOptions{})
+	if len(regs) != 1 || regs[0].Kind != "time" || regs[0].Entry != "table1" {
+		t.Fatalf("regressions = %v", regs)
+	}
+	// Within a wider tolerance the same delta passes.
+	if regs := Compare(base, cand, CompareOptions{MaxTimeRegressPct: 50}); len(regs) != 0 {
+		t.Fatalf("50%% tolerance still flagged: %v", regs)
+	}
+	// Faster is never a regression.
+	cand.Entries[0].NsPerOp = 100
+	if regs := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("speedup flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsAccuracyRegression(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	cand.Entries[0].Metrics["map/adascale"] = 0.70
+	regs := Compare(base, cand, CompareOptions{})
+	if len(regs) != 1 || regs[0].Kind != "accuracy" {
+		t.Fatalf("regressions = %v", regs)
+	}
+	// An accuracy *improvement* passes; informational metrics are never
+	// gated even when they fall.
+	cand = sampleReport()
+	cand.Entries[0].Metrics["map/adascale"] = 0.80
+	cand.Entries[0].Metrics["mean_scale/adascale"] = 1
+	if regs := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsMissingCoverage(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	cand.Entries = cand.Entries[:1] // drop robustness
+	delete(cand.Entries[0].Metrics, "map/adascale")
+	regs := Compare(base, cand, CompareOptions{})
+	kinds := map[string]bool{}
+	for _, r := range regs {
+		kinds[r.Kind] = true
+	}
+	if !kinds["missing-entry"] || !kinds["missing-metric"] {
+		t.Fatalf("regressions = %v", regs)
+	}
+	// Extra entries and metrics in the candidate are fine.
+	base, cand = sampleReport(), sampleReport()
+	cand.Add("new-bench", Sample{NsPerOp: 1}, map[string]float64{"map/new": 0.5})
+	cand.Entries[0].Metrics["map/extra"] = 0.9
+	if regs := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("grown coverage flagged: %v", regs)
+	}
+}
+
+func TestGuardedMetric(t *testing.T) {
+	for key, want := range map[string]bool{
+		"map/adascale":        true,
+		"map/resilient_worst": true,
+		"mean_scale/adascale": false,
+		"runtime_ms/x":        false,
+		"fps/rfcn":            false,
+	} {
+		if GuardedMetric(key) != want {
+			t.Errorf("GuardedMetric(%q) = %v, want %v", key, !want, want)
+		}
+	}
+}
+
+func TestMeasureCountsWorkAndIterations(t *testing.T) {
+	calls := 0
+	s := Measure(func() {
+		calls++
+		_ = make([]byte, 1024)
+	}, 0)
+	// Warmup + at least one timed iteration.
+	if calls < 2 || s.Iters < 1 {
+		t.Fatalf("calls=%d sample=%+v", calls, s)
+	}
+	if s.NsPerOp < 0 || s.AllocsPerOp < 0 {
+		t.Fatalf("negative sample: %+v", s)
+	}
+	// A minimum time forces multiple iterations of a fast op.
+	calls = 0
+	s = Measure(func() { calls++ }, 2*time.Millisecond)
+	if s.Iters < 2 {
+		t.Fatalf("minTime ignored: %+v", s)
+	}
+}
+
+func TestFirstDiff(t *testing.T) {
+	got := firstDiff("a\nb\nc\n", "a\nX\nc\n")
+	if !strings.Contains(got, "line 2") || !strings.Contains(got, `"b"`) {
+		t.Fatalf("firstDiff = %q", got)
+	}
+	got = firstDiff("a\n", "a\nb\n")
+	if !strings.Contains(got, "line count") {
+		t.Fatalf("firstDiff on length mismatch = %q", got)
+	}
+}

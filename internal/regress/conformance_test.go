@@ -1,0 +1,152 @@
+package regress
+
+// The golden-trace conformance suite: every pipeline the repo claims is
+// deterministic — Algorithm 1, the resilient degradation ladder, the
+// experiment tables/figures, the multi-stream serving layer — is replayed
+// at workers 1 and 4 and must reproduce its committed golden trace byte
+// for byte. A failure here means either an intended behaviour change
+// (rerun with -update and review the diff) or a determinism break (fix the
+// code; never update the golden to paper over divergence between worker
+// counts — AtWorkers fails before Golden ever sees such a trace).
+
+import (
+	"sync"
+	"testing"
+
+	"adascale/internal/adascale"
+	"adascale/internal/experiments"
+	"adascale/internal/faults"
+	"adascale/internal/serve"
+)
+
+var (
+	bundleOnce sync.Once
+	bundle     *experiments.Bundle
+	bundleErr  error
+)
+
+// conformanceBundle is the shared reduced-size bundle behind every golden:
+// small enough to keep the suite fast, large enough that every method
+// disagrees with every other (so the traces actually discriminate).
+func conformanceBundle(t *testing.T) *experiments.Bundle {
+	t.Helper()
+	bundleOnce.Do(func() {
+		bundle, bundleErr = experiments.Prepare(experiments.Config{
+			Dataset: "vid", TrainSnippets: 12, ValSnippets: 6, Seed: 5,
+		})
+	})
+	if bundleErr != nil {
+		t.Fatal(bundleErr)
+	}
+	return bundle
+}
+
+// TestGoldenTraceAdaScale pins Algorithm 1's per-frame scale decisions and
+// detection digests over the validation split.
+func TestGoldenTraceAdaScale(t *testing.T) {
+	b := conformanceBundle(t)
+	sys := b.DefaultSystem()
+	trace := AtWorkers(t, func() string {
+		outs := adascale.RunDataset(b.DS.Val, adascale.AdaScaleRunner(sys.Detector, sys.Regressor))
+		return adascale.FormatTrace(outs)
+	})
+	Golden(t, "trace_adascale", trace)
+}
+
+// TestGoldenTraceResilient pins the degradation ladder on a deterministic
+// fault-injected stream under a per-frame deadline, including the Health
+// accounting on every frame and the aggregate HealthSummary.
+func TestGoldenTraceResilient(t *testing.T) {
+	b := conformanceBundle(t)
+	sys := b.DefaultSystem()
+	val, err := faults.Inject(b.DS.Val, faults.Mixed(0.15, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := adascale.DefaultResilientConfig()
+	cfg.DeadlineMS = 60
+	trace := AtWorkers(t, func() string {
+		outs := adascale.RunDataset(val, adascale.ResilientRunner(sys.Detector, sys.Regressor, cfg))
+		return adascale.FormatTrace(outs) + "summary: " + adascale.Summarize(outs).String() + "\n"
+	})
+	Golden(t, "trace_resilient", trace)
+}
+
+// TestGoldenExperiments pins the rendered report of every paper table and
+// figure plus the robustness and serving sweeps — the stable serialization
+// of each experiment result.
+func TestGoldenExperiments(t *testing.T) {
+	b := conformanceBundle(t)
+	// Reduced sweeps keep the suite fast; the full-size sweeps run from
+	// cmd/adascale-bench and are pinned by the BENCH_*.json trajectory.
+	servingCfg := experiments.ServingConfig{
+		StreamCounts:    []int{2, 4},
+		SLOs:            []float64{0, 40},
+		Workers:         4,
+		FPS:             8,
+		FramesPerStream: 10,
+		QueueDepth:      4,
+	}
+	cases := []struct {
+		name    string
+		produce func() (experiments.Printer, error)
+	}{
+		{"qualitative", func() (experiments.Printer, error) { return b.Qualitative(8), nil }},
+		{"table1", func() (experiments.Printer, error) { return b.Table1(), nil }},
+		{"table2", func() (experiments.Printer, error) { return b.Table2(), nil }},
+		{"table3", func() (experiments.Printer, error) { return b.Table3(), nil }},
+		{"fig5", func() (experiments.Printer, error) { return b.Fig5(), nil }},
+		{"fig6", func() (experiments.Printer, error) { return b.Fig6(), nil }},
+		{"fig7", func() (experiments.Printer, error) { return b.Fig7(), nil }},
+		{"fig9", func() (experiments.Printer, error) { return b.Fig9(), nil }},
+		{"fig10", func() (experiments.Printer, error) { return b.Fig10(), nil }},
+		{"robustness", func() (experiments.Printer, error) { return b.Robustness([]float64{0, 0.2}, 60) }},
+		{"serving", func() (experiments.Printer, error) { return b.Serving(servingCfg) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			trace := AtWorkers(t, func() string {
+				p, err := c.produce()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return experiments.Render(p)
+			})
+			Golden(t, "exp_"+c.name, trace)
+		})
+	}
+}
+
+// TestGoldenServeSnapshot pins the serving layer's final metrics snapshot
+// for a small loaded run, and asserts the snapshot round-trips through
+// serve.ParseSnapshot byte-identically (the consumer contract).
+func TestGoldenServeSnapshot(t *testing.T) {
+	b := conformanceBundle(t)
+	sys := b.DefaultSystem()
+	trace := AtWorkers(t, func() string {
+		load, err := serve.GenLoad(b.DS.Val, serve.LoadConfig{
+			Streams: 3, FPS: 10, FramesPerStream: 8, Seed: 77,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.New(sys.Detector, sys.Regressor, serve.Config{
+			Workers: 2, QueueDepth: 4, SLOMS: 100,
+			Resilient: adascale.DefaultResilientConfig(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := srv.Run(load)
+		snap := rep.Metrics.Snapshot()
+		parsed, err := serve.ParseSnapshot(snap)
+		if err != nil {
+			t.Fatalf("snapshot does not parse: %v", err)
+		}
+		if parsed.String() != snap {
+			t.Fatalf("snapshot round-trip not byte-identical\n%s", firstDiff(snap, parsed.String()))
+		}
+		return snap + "health: " + rep.Summary.String() + "\n"
+	})
+	Golden(t, "serve_snapshot", trace)
+}

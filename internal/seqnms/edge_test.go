@@ -1,0 +1,99 @@
+package seqnms
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"adascale/internal/detect"
+)
+
+// TestApplyDegenerateInputs drives Apply through the shapes a real pipeline
+// produces at its edges: no snippet at all, frames with no detections, and
+// a single-frame snippet where no temporal link is possible.
+func TestApplyDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		frames [][]detect.Detection
+	}{
+		{"nil snippet", nil},
+		{"empty snippet", [][]detect.Detection{}},
+		{"empty frames", [][]detect.Detection{{}, {}, {}}},
+		{"nil frames", [][]detect.Detection{nil, nil}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := Apply(tc.frames, Options{})
+			if len(out) != len(tc.frames) {
+				t.Fatalf("frame count changed: %d → %d", len(tc.frames), len(out))
+			}
+			for i, dets := range out {
+				if len(dets) != 0 {
+					t.Fatalf("frame %d invented %d detections", i, len(dets))
+				}
+			}
+		})
+	}
+}
+
+// TestApplySingleFrame: with one frame every chain has length 1, so average
+// and max rescoring both leave scores untouched and nothing that does not
+// overlap gets suppressed.
+func TestApplySingleFrame(t *testing.T) {
+	frames := [][]detect.Detection{{
+		{Box: box(0, 0, 20), Class: 1, Score: 0.9},
+		{Box: box(100, 100, 20), Class: 2, Score: 0.4},
+	}}
+	for _, mode := range []Rescoring{RescoreAverage, RescoreMax} {
+		out := Apply(frames, Options{Rescoring: mode})
+		if len(out) != 1 || len(out[0]) != 2 {
+			t.Fatalf("mode %v: got %d frames / %d detections", mode, len(out), len(out[0]))
+		}
+		if math.Abs(out[0][0].Score-0.9) > 1e-12 || math.Abs(out[0][1].Score-0.4) > 1e-12 {
+			t.Fatalf("mode %v: singleton chains changed scores: %+v", mode, out[0])
+		}
+	}
+}
+
+// TestApplyTiedScoresDeterministic: detections with identical scores must
+// come out in a stable order (the sort is stable over the input order), and
+// repeated runs over the same input must agree exactly — the property the
+// golden conformance traces depend on.
+func TestApplyTiedScoresDeterministic(t *testing.T) {
+	frames := [][]detect.Detection{{
+		{Box: box(0, 0, 20), Class: 1, Score: 0.5},
+		{Box: box(200, 0, 20), Class: 2, Score: 0.5},
+		{Box: box(400, 0, 20), Class: 3, Score: 0.5},
+	}}
+	first := Apply(frames, Options{})
+	if len(first[0]) != 3 {
+		t.Fatalf("disjoint tied detections lost: %d of 3 kept", len(first[0]))
+	}
+	for i, want := range []int{1, 2, 3} {
+		if first[0][i].Class != want {
+			t.Fatalf("tied scores reordered: got classes %+v", first[0])
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if again := Apply(frames, Options{}); !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d disagrees with first:\n%+v\nvs\n%+v", i, again, first)
+		}
+	}
+}
+
+// TestApplyTiedOverlapSuppressed: two same-class, same-score boxes on top
+// of each other are one object; the chain keeps one and suppresses the
+// other.
+func TestApplyTiedOverlapSuppressed(t *testing.T) {
+	frames := [][]detect.Detection{{
+		{Box: box(0, 0, 20), Class: 1, Score: 0.7},
+		{Box: box(1, 0, 20), Class: 1, Score: 0.7},
+	}}
+	out := Apply(frames, Options{})
+	if len(out[0]) != 1 {
+		t.Fatalf("near-duplicate tied detections: kept %d, want 1", len(out[0]))
+	}
+	if math.Abs(out[0][0].Score-0.7) > 1e-12 {
+		t.Fatalf("survivor rescored to %v, want 0.7", out[0][0].Score)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"adascale/internal/synth"
@@ -55,8 +56,11 @@ func (c *LoadConfig) Validate() error {
 	switch {
 	case c.Streams <= 0:
 		return fmt.Errorf("serve: load config needs at least one stream, got %d", c.Streams)
-	case c.FPS <= 0:
-		return fmt.Errorf("serve: load config needs a positive FPS, got %v", c.FPS)
+	case c.FPS <= 0 || math.IsNaN(c.FPS) || math.IsInf(c.FPS, 0):
+		// The NaN/Inf arms matter: NaN fails every comparison, so a plain
+		// `<= 0` check would wave a NaN rate through and poison every
+		// arrival time downstream (found by FuzzLoadgen).
+		return fmt.Errorf("serve: load config needs a positive finite FPS, got %v", c.FPS)
 	case c.FramesPerStream <= 0:
 		return fmt.Errorf("serve: load config needs frames per stream, got %d", c.FramesPerStream)
 	}

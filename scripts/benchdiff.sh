@@ -1,0 +1,21 @@
+#!/bin/sh
+# benchdiff.sh — compare two adascale-bench JSON reports and fail on
+# regression. A regression is a ns/op increase beyond the tolerance
+# (default 25%, third argument) or ANY decrease of a guarded accuracy
+# metric ("map"-prefixed keys); entries or guarded metrics present in the
+# baseline but missing from the candidate also fail (lost coverage).
+#
+# Usage: scripts/benchdiff.sh baseline.json candidate.json [max-time-regress-pct]
+#
+# Generate a candidate with:
+#   go run ./cmd/adascale-bench -train 16 -val 8 -seed 5 -json candidate.json
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "$#" -lt 2 ]; then
+	echo "usage: $0 baseline.json candidate.json [max-time-regress-pct]" >&2
+	exit 2
+fi
+pct=${3:-25}
+
+exec go run ./cmd/adascale-bench -diff "$1" -diff-to "$2" -max-time-regress "$pct"

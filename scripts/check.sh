@@ -16,18 +16,26 @@ fi
 go vet ./...
 go build ./...
 # -timeout covers the heavy experiment harnesses on small machines: the
-# race detector slows the regressor-training loops by ~10x.
-go test -race -timeout 60m ./...
+# race detector slows the regressor-training loops by ~10x. -shuffle=on
+# randomizes test order within each package so leaked package-level state
+# (e.g. a SetWorkers override surviving a t.Fatal) fails loudly instead
+# of depending on declaration order.
+go test -race -shuffle=on -timeout 60m ./...
 
 # Brief randomized fuzzing on top of the committed seed corpus — the NMS
 # and evaluator harnesses must hold on degenerate boxes (NaN/Inf
 # coordinates, out-of-range classes) far beyond what the unit tests pin.
 go test -run='^$' -fuzz='^FuzzNMS$' -fuzztime=5s ./internal/detect
 go test -run='^$' -fuzz='^FuzzEvaluate$' -fuzztime=5s ./internal/eval
+go test -run='^$' -fuzz='^FuzzLoadgen$' -fuzztime=5s ./internal/serve
 
 # End-to-end serving gate under the race detector: 200 simulated frames
 # across 4 streams at an unloaded rate must serve with zero drops and a
 # non-empty metrics snapshot (-smoke exits non-zero otherwise).
 go run -race ./cmd/adascale-serve -streams 4 -frames 50 -rate 5 \
 	-slo-ms 0 -tick-ms 0 -train 8 -val 4 -workers 4 -seed 5 -smoke
+
+# Benchmark-report gate: the committed baseline must parse, carry a known
+# schema, and self-compare clean (zero regressions).
+./scripts/benchdiff.sh BENCH_4.json BENCH_4.json
 echo "tier-1 gate: OK"
