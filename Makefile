@@ -4,9 +4,15 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz-smoke serve-smoke benchdiff golden
+.PHONY: check ci fmt vet build test race bench fuzz-smoke serve-smoke benchdiff golden
 
 check: fmt vet build race fuzz-smoke serve-smoke benchdiff
+
+# CI entry point: the same gates as `check` but fail-slow — every gate
+# runs even after a failure so one push reports all breakage at once,
+# with GitHub Actions error annotations (and no color/TTY decoration).
+ci:
+	CHECK_CI_MODE=1 ./scripts/check.sh
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -50,15 +56,22 @@ serve-smoke:
 	$(GO) run -race ./cmd/adascale-serve -streams 4 -frames 50 -rate 5 \
 		-slo-ms 0 -tick-ms 0 -train 8 -val 4 -workers 4 -seed 5 -smoke
 
-# Benchmark-report gate: the committed BENCH_4.json baseline must parse,
-# carry a known schema, and self-compare clean (zero regressions). Fresh
-# reports are compared against it out-of-band (see README) because
-# wall-clock deltas across machines are not a commit gate.
+# Benchmark-report gates: the diff tool must localise a synthetic
+# single-stage regression (its own self-validation), and the committed
+# BENCH_4.json baseline must parse, carry a known schema, and
+# self-compare clean (zero regressions). Fresh reports are compared
+# against it out-of-band (see README) because wall-clock deltas across
+# machines are not a commit gate — CI uses `benchdiff.sh -accuracy-only`.
 benchdiff:
+	./scripts/benchdiff.sh -selftest
 	./scripts/benchdiff.sh BENCH_4.json BENCH_4.json
 
-# Regenerate the golden conformance traces after a deliberate behaviour
-# change, then regenerate the benchmark baseline to match.
+# Regenerate every committed conformance artifact after a deliberate
+# behaviour change in one pass: the golden traces (including the
+# per-stage breakdown and serving stage-snapshot goldens), a verifying
+# re-run, and the schema-v2 benchmark baseline with per-stage ns/op.
+# Review the diff like any other code change.
 golden:
 	$(GO) test ./internal/regress -update
 	$(GO) test ./internal/regress
+	$(GO) run ./cmd/adascale-bench -train 16 -val 8 -seed 5 -json BENCH_4.json

@@ -8,8 +8,10 @@
 //	               [-train N] [-val N] [-seed N] [-workers N] \
 //	               [-faults 0,0.05,0.1,0.2] [-deadline-ms 0] \
 //	               [-json report.json] [-baseline BENCH_4.json] \
-//	               [-bench-time 0] [-max-time-regress 25]
-//	adascale-bench -diff baseline.json -diff-to candidate.json
+//	               [-bench-time 0] [-max-time-regress 25] [-accuracy-only] \
+//	               [-trace trace.txt] [-trace-wall] [-pprof localhost:6060] \
+//	               [-cpuprofile cpu.out] [-memprofile mem.out]
+//	adascale-bench -diff baseline.json -diff-to candidate.json [-accuracy-only]
 //
 // Experiments: table1, table2, table3, fig5, fig6, fig7, fig9, fig10,
 // qualitative, robustness, serving. The robustness sweep injects the
@@ -27,6 +29,15 @@
 // -max-time-regress percent or any regression of a guarded (map*) accuracy
 // metric. -diff/-diff-to compare two existing report files without running
 // anything — the mode scripts/benchdiff.sh wraps.
+//
+// In report mode every experiment additionally runs under the pipeline
+// tracer and its ns/op is apportioned across stages by the deterministic
+// virtual-time shares (schema v2, Entry.Stages), so a time regression can
+// be localised to a stage. Comparisons refuse reports measured on
+// different machines unless -accuracy-only disables the (meaningless)
+// cross-machine time gate and compares only the deterministic accuracy
+// metrics — the mode CI uses against the committed baseline.
+// -cpuprofile/-memprofile dump pprof profiles of the benchmark run.
 package main
 
 import (
@@ -39,6 +50,7 @@ import (
 
 	"adascale/internal/cli"
 	"adascale/internal/experiments"
+	"adascale/internal/obs"
 	"adascale/internal/regress"
 )
 
@@ -181,11 +193,14 @@ func main() {
 	diffTo := flag.String("diff-to", "", "compare-only: candidate report file")
 	benchTime := flag.Duration("bench-time", 0, "minimum timed duration per benchmark in -json/-baseline mode (0 = one iteration)")
 	maxTimePct := flag.Float64("max-time-regress", 25, "allowed ns/op increase in percent before a comparison fails")
+	accuracyOnly := flag.Bool("accuracy-only", false, "gate only on accuracy metrics; skip the ns/op time gates (for cross-machine comparisons)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
-	common.Apply()
+	common.Apply("adascale-bench")
 
 	fail := func(err error) { cli.Fail("adascale-bench", err) }
-	opts := regress.CompareOptions{MaxTimeRegressPct: *maxTimePct}
+	opts := regress.CompareOptions{MaxTimeRegressPct: *maxTimePct, IgnoreTime: *accuracyOnly}
 
 	// Compare-only mode: no dataset, no benchmarks — just the gate.
 	if *diffBase != "" || *diffTo != "" {
@@ -193,6 +208,17 @@ func main() {
 			fail(fmt.Errorf("-diff and -diff-to must be used together"))
 		}
 		os.Exit(runDiff(*diffBase, *diffTo, opts))
+	}
+
+	// Profiles bracket the benchmark work and are finalised explicitly
+	// after the experiment loop (not deferred: the gate paths os.Exit).
+	stopCPU := func() error { return nil }
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		stopCPU = stop
 	}
 
 	rates, err := cli.ParseFloats(*faultRates)
@@ -209,6 +235,15 @@ func main() {
 	b, err := experiments.Prepare(cfg)
 	if err != nil {
 		fail(err)
+	}
+	// The bundle traces through the user's -trace tracer when given; in
+	// report mode without -trace, a private virtual-time tracer still runs
+	// so every report carries the per-stage ns/op apportionment. In report
+	// mode the tracer is reset per experiment for attribution, so a -trace
+	// file written alongside -json holds the last experiment's spans only.
+	b.Trace = common.Tracer()
+	if b.Trace == nil && (*jsonPath != "" || *baseline != "") {
+		b.Trace = obs.NewTracer()
 	}
 
 	want := map[string]bool{}
@@ -243,14 +278,26 @@ func main() {
 			}
 		}
 		if report != nil {
+			b.Trace.Reset()
 			sample := regress.Measure(runOnce, *benchTime)
 			report.Add(er.name, sample, metrics)
+			report.SetStages(er.name, stageNsPerOp(sample.NsPerOp, b.Trace))
 		} else {
 			runOnce()
 		}
 		p.Print(w)
 		fmt.Fprintf(w, "[%s completed in %v]\n\n", er.name, time.Since(start).Round(time.Millisecond))
 	}
+
+	if err := stopCPU(); err != nil {
+		fail(err)
+	}
+	if *memProfile != "" {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
+			fail(err)
+		}
+	}
+	common.WriteTrace("adascale-bench")
 
 	if report == nil {
 		return
@@ -269,6 +316,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if !opts.IgnoreTime && !base.Machine.Equal(report.Machine) {
+			fail(fmt.Errorf("baseline %s measured on a different machine:\n  baseline:  %s\n  this run:  %s\nwall-clock comparison across machines is meaningless — pass -accuracy-only to gate on accuracy metrics only, or regenerate the baseline on this machine (see README)", *baseline, base.Machine, report.Machine))
+		}
 		regs := regress.Compare(base, report, opts)
 		for _, r := range regs {
 			fmt.Fprintf(os.Stderr, "regression: %s\n", r)
@@ -278,6 +328,30 @@ func main() {
 		}
 		fmt.Fprintf(w, "benchdiff: OK — no regressions against %s (%d entries)\n", *baseline, len(base.Entries))
 	}
+}
+
+// stageNsPerOp apportions one benchmark's ns/op across pipeline stages by
+// the tracer's virtual-time shares. The breakdown accumulates over the
+// warmup and every timed iteration, but the shares are ratio-invariant
+// under the deterministic pipeline, so stage_ns = ns_per_op × stage_ms /
+// total_ms holds regardless of the iteration count.
+func stageNsPerOp(nsPerOp int64, tr *obs.Tracer) map[string]int64 {
+	bd := tr.Breakdown()
+	total := 0.0
+	for _, ms := range bd {
+		total += ms
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(bd))
+	for st, ms := range bd {
+		if ms <= 0 {
+			continue
+		}
+		out[obs.Stage(st).String()] = int64(float64(nsPerOp) * ms / total)
+	}
+	return out
 }
 
 // runDiff compares two report files and returns the process exit code.
@@ -290,6 +364,10 @@ func runDiff(basePath, candPath string, opts regress.CompareOptions) int {
 	cand, err := regress.LoadReport(candPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adascale-bench: %v\n", err)
+		return 2
+	}
+	if !opts.IgnoreTime && !base.Machine.Equal(cand.Machine) {
+		fmt.Fprintf(os.Stderr, "adascale-bench: reports measured on different machines:\n  baseline:  %s\n  candidate: %s\nwall-clock comparison across machines is meaningless — pass -accuracy-only to gate on accuracy metrics only, or regenerate the baseline on this machine (see README)\n", base.Machine, cand.Machine)
 		return 2
 	}
 	regs := regress.Compare(base, cand, opts)

@@ -6,7 +6,8 @@
 //
 //	adascale-eval [-dataset vid|ytbb] [-train N] [-val N] [-seed N] \
 //	              [-weights weights.bin] [-workers N] \
-//	              [-faults 0.1] [-deadline-ms 0]
+//	              [-faults 0.1] [-deadline-ms 0] \
+//	              [-trace trace.txt] [-trace-wall] [-pprof localhost:6060]
 //
 // With -faults > 0 the validation split is additionally corrupted with the
 // deterministic fault injector at that per-frame rate and the protocols
@@ -31,7 +32,7 @@ func main() {
 	faultRate := flag.Float64("faults", 0, "per-frame fault rate for the robustness comparison (0 = off)")
 	deadlineMS := flag.Float64("deadline-ms", 0, "per-frame deadline for the resilient runner (0 = off)")
 	flag.Parse()
-	common.Apply()
+	common.Apply("adascale-eval")
 
 	b, err := experiments.Prepare(experiments.Config{
 		Dataset: common.Dataset, TrainSnippets: common.Train, ValSnippets: common.Val, Seed: common.Seed,
@@ -39,6 +40,7 @@ func main() {
 	if err != nil {
 		cli.Fail("adascale-eval", err)
 	}
+	b.Trace = common.Tracer()
 	if *weights != "" {
 		f, err := os.Open(*weights)
 		if err != nil {
@@ -72,4 +74,6 @@ func main() {
 		}
 		res.Print(os.Stdout)
 	}
+
+	common.WriteTrace("adascale-eval")
 }

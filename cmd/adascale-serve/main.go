@@ -10,7 +10,8 @@
 //	adascale-serve [-streams 8] [-workers 4] [-slo-ms 50] [-queue 8] \
 //	               [-max-streams 0] [-rate 30] [-frames 60] [-tick-ms 500] \
 //	               [-dataset vid|ytbb] [-train 12] [-val 8] [-seed 5] \
-//	               [-faults 0] [-smoke]
+//	               [-faults 0] [-smoke] \
+//	               [-trace trace.txt] [-trace-wall] [-pprof localhost:6060]
 //
 // The master -seed drives the dataset, the fault injection and the
 // arrival schedules; for a fixed flag set the served outputs and every
@@ -46,7 +47,7 @@ func main() {
 	faultRate := flag.Float64("faults", 0, "per-frame fault rate injected into the stream content")
 	smoke := flag.Bool("smoke", false, "gate mode: exit non-zero on any drop or an empty snapshot")
 	flag.Parse()
-	common.Apply()
+	common.Apply("adascale-serve")
 
 	fail := func(err error) { cli.Fail("adascale-serve", err) }
 	start := time.Now()
@@ -90,6 +91,7 @@ func main() {
 		SLOMS:      *sloMS,
 		Resilient:  adascale.DefaultResilientConfig(),
 		TickMS:     *tickMS,
+		Tracer:     common.Tracer(),
 	}
 	if *tickMS > 0 {
 		cfg.OnTick = func(simMS float64, m *serve.Metrics) {
@@ -128,4 +130,6 @@ func main() {
 		}
 		fmt.Println("serve smoke: OK")
 	}
+
+	common.WriteTrace("adascale-serve")
 }

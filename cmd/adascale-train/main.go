@@ -7,7 +7,8 @@
 //
 //	adascale-train [-dataset vid|ytbb] [-train N] [-seed N] \
 //	               [-kernels 1,3] [-epochs 2] [-lr 0.01] [-o weights.bin] \
-//	               [-workers N] [-faults 0] [-deadline-ms 0]
+//	               [-workers N] [-faults 0] [-deadline-ms 0] \
+//	               [-trace trace.txt] [-trace-wall] [-pprof localhost:6060]
 //
 // With -faults > 0 a post-training smoke check runs the freshly trained
 // system through the resilient pipeline on a small fault-injected split
@@ -38,7 +39,7 @@ func main() {
 	faultRate := flag.Float64("faults", 0, "fault rate for the post-training resilience smoke check (0 = off)")
 	deadlineMS := flag.Float64("deadline-ms", 0, "per-frame deadline for the smoke check (0 = off)")
 	flag.Parse()
-	common.Apply()
+	common.Apply("adascale-train")
 
 	fail := func(err error) { cli.Fail("adascale-train", err) }
 
@@ -77,26 +78,29 @@ func main() {
 	fmt.Printf("trained %v, weights saved to %s\n", sys.Regressor, *out)
 
 	if *faultRate > 0 || *deadlineMS > 0 {
-		if err := resilienceSmoke(sys, cfg, common.FaultSeed(), *faultRate, *deadlineMS); err != nil {
+		if err := resilienceSmoke(sys, cfg, &common, *faultRate, *deadlineMS); err != nil {
 			fail(err)
 		}
 	}
+
+	common.WriteTrace("adascale-train")
 }
 
 // resilienceSmoke runs the freshly trained system through the resilient
 // pipeline on a small fault-injected split and prints the degradation
 // accounting — the last gate before the weights are considered usable.
-func resilienceSmoke(sys *adascale.System, cfg synth.Config, faultSeed int64, rate, deadlineMS float64) error {
+func resilienceSmoke(sys *adascale.System, cfg synth.Config, common *cli.Common, rate, deadlineMS float64) error {
 	ds, err := synth.Generate(cfg, 0, 8)
 	if err != nil {
 		return err
 	}
-	val, err := faults.Inject(ds.Val, faults.Mixed(rate, faultSeed))
+	val, err := faults.Inject(ds.Val, faults.Mixed(rate, common.FaultSeed()))
 	if err != nil {
 		return err
 	}
 	rcfg := adascale.DefaultResilientConfig()
 	rcfg.DeadlineMS = deadlineMS
+	rcfg.Tracer = common.Tracer()
 	outs, errs := adascale.RunDatasetPartial(val, adascale.ResilientRunner(sys.Detector, sys.Regressor, rcfg))
 	for _, e := range errs {
 		fmt.Printf("smoke check: recovered %v\n", e)

@@ -30,9 +30,12 @@ type FrameOutput struct {
 	Detections []detect.Detection
 
 	// DetectorMS is the modelled detection cost; OverheadMS is any extra
-	// per-frame cost (scale regressor, flow, Seq-NMS post-processing).
+	// per-frame cost (scale regressor, flow); SeqNMSMS is the Seq-NMS
+	// post-processing cost, kept separate so the tracer can attribute it
+	// as its own pipeline stage.
 	DetectorMS float64
 	OverheadMS float64
+	SeqNMSMS   float64
 
 	// Health records the frame's fault/degradation accounting (resilient.go).
 	// The zero value means "clean frame, no fallback".
@@ -40,7 +43,7 @@ type FrameOutput struct {
 }
 
 // TotalMS returns the frame's full modelled runtime.
-func (o FrameOutput) TotalMS() float64 { return o.DetectorMS + o.OverheadMS }
+func (o FrameOutput) TotalMS() float64 { return o.DetectorMS + o.OverheadMS + o.SeqNMSMS }
 
 // MeanRuntimeMS averages total per-frame runtime over outputs.
 func MeanRuntimeMS(outputs []FrameOutput) float64 {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"adascale/internal/detect"
+	"adascale/internal/obs"
 	"adascale/internal/regressor"
 	"adascale/internal/rfcn"
 	"adascale/internal/simclock"
@@ -141,6 +142,14 @@ type ResilientConfig struct {
 	// gives up and emits an explicitly-empty frame (stale detections
 	// eventually do more harm than good); 0 means 12.
 	MaxPropagate int
+
+	// Tracer, when non-nil, makes sessions built from this config record
+	// per-frame pipeline spans live from Step — including wall-clock
+	// detect/regress measurement when the tracer is in wall mode. Never
+	// combine with TracedRunner on the same factory: every span would be
+	// recorded twice. The serving layer ignores this field (the scheduler
+	// records its own spans with true event-loop timestamps).
+	Tracer *obs.Tracer
 }
 
 // DefaultResilientConfig returns the standard ladder tuning.
@@ -202,6 +211,7 @@ type ResilientSession struct {
 	cfg      ResilientConfig
 	overhead float64
 	budget   *simclock.Budget
+	tracer   *obs.Tracer
 
 	targetScale   int
 	scaleCap      int // deadline enforcement lowers this
@@ -209,6 +219,10 @@ type ResilientSession struct {
 	lastDets      []detect.Detection
 	propagated    int // consecutive propagated frames
 	degradedRun   int // consecutive content-degraded frames (frames-to-recover)
+
+	trStream int     // stream id stamped on recorded spans
+	trFrame  int     // next frame index on the trace clock
+	clockMS  float64 // snippet-local virtual clock for span start times
 }
 
 // NewResilientSession creates a fresh session for one stream. kernels is
@@ -219,6 +233,7 @@ func NewResilientSession(kernels []int, cfg ResilientConfig) *ResilientSession {
 		cfg:      cfg,
 		overhead: simclock.RegressorMS(kernels),
 		budget:   simclock.NewBudget(cfg.DeadlineMS, cfg.BudgetWindow),
+		tracer:   cfg.Tracer,
 	}
 	s.reset()
 	return s
@@ -239,6 +254,29 @@ func (s *ResilientSession) reset() {
 	s.lastDets = nil
 	s.propagated = 0
 	s.degradedRun = 0
+	s.trFrame = 0
+	s.clockMS = 0
+}
+
+// SetTraceStream stamps subsequent recorded spans with the given stream id
+// and rewinds the session's trace clock to frame 0 at time 0 — called at
+// the start of every snippet (or stream) the session serves.
+func (s *ResilientSession) SetTraceStream(id int) {
+	s.trStream = id
+	s.trFrame = 0
+	s.clockMS = 0
+}
+
+// traceStep records one finished frame's spans on the session's trace
+// clock. No-op without a tracer.
+func (s *ResilientSession) traceStep(o FrameOutput, detWallMS, regWallMS float64) {
+	if s.tracer == nil {
+		return
+	}
+	var spans []obs.Span
+	spans, s.clockMS = frameSpans(s.tracer, spans, s.trStream, s.trFrame, s.clockMS, o, detWallMS, regWallMS)
+	s.trFrame++
+	s.tracer.Add(spans)
 }
 
 // Overhead returns the per-frame regressor overhead the session charges on
@@ -394,11 +432,19 @@ func (s *ResilientSession) Finish(f *synth.Frame, p FramePlan, r *rfcn.Result, t
 func (s *ResilientSession) Step(det *rfcn.Detector, reg *regressor.Regressor, f *synth.Frame) FrameOutput {
 	p := s.Plan(f)
 	if p.Skip {
-		return s.Finish(f, p, nil, 0, simclock.DetectorBaseMS+p.JitterMS)
+		out := s.Finish(f, p, nil, 0, simclock.DetectorBaseMS+p.JitterMS)
+		s.traceStep(out, 0, 0)
+		return out
 	}
+	ref := s.tracer.Now()
 	r := det.DetectWithFeatures(f, p.Scale)
+	detWall := s.tracer.SinceMS(ref)
+	ref = s.tracer.Now()
 	t := reg.Forward(r.Features)
-	return s.Finish(f, p, r, t, r.RuntimeMS+s.overhead+p.JitterMS)
+	regWall := s.tracer.SinceMS(ref)
+	out := s.Finish(f, p, r, t, r.RuntimeMS+s.overhead+p.JitterMS)
+	s.traceStep(out, detWall, regWall)
+	return out
 }
 
 // RunResilient runs Algorithm 1 over a snippet with the degradation
@@ -412,6 +458,7 @@ func RunResilient(det *rfcn.Detector, reg *regressor.Regressor, sn *synth.Snippe
 
 // runSession drives an already-reset session over one snippet.
 func runSession(sess *ResilientSession, det *rfcn.Detector, reg *regressor.Regressor, sn *synth.Snippet) []FrameOutput {
+	sess.SetTraceStream(sn.ID)
 	outputs := make([]FrameOutput, 0, len(sn.Frames))
 	for i := range sn.Frames {
 		outputs = append(outputs, sess.Step(det, reg, &sn.Frames[i]))

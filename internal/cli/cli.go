@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"adascale/internal/obs"
 	"adascale/internal/parallel"
 	"adascale/internal/synth"
 )
@@ -36,6 +37,20 @@ type Common struct {
 
 	// Workers sizes the shared worker pool; 0 means GOMAXPROCS.
 	Workers int
+
+	// TracePath, when non-empty, collects per-frame pipeline spans during
+	// the run and writes them (plus the stage breakdown) to this file at
+	// exit via WriteTrace. TraceWall switches the tracer to wall-clock
+	// mode — real measured detect/regress time for profiling on hardware,
+	// explicitly not deterministic.
+	TracePath string
+	TraceWall bool
+
+	// PprofAddr, when non-empty, serves net/http/pprof on this address
+	// for the life of the process.
+	PprofAddr string
+
+	tracer *obs.Tracer
 }
 
 // Register installs the common flags on the default flag set with the
@@ -48,11 +63,52 @@ func (c *Common) Register(defTrain, defVal int) {
 	}
 	flag.Int64Var(&c.Seed, "seed", 5, "master seed: drives the dataset and every derived fault/load stream")
 	flag.IntVar(&c.Workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&c.TracePath, "trace", "", "write per-stage pipeline trace to this file")
+	flag.BoolVar(&c.TraceWall, "trace-wall", false, "trace in wall-clock mode (profiling aid; not deterministic)")
+	flag.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 }
 
-// Apply finalises parsed flags (worker pool sizing). Call after flag.Parse.
-func (c *Common) Apply() {
+// Apply finalises parsed flags: worker pool sizing, the pprof server and
+// the tracer. Call after flag.Parse; cmd names the command in messages.
+func (c *Common) Apply(cmd string) {
 	parallel.SetWorkers(c.Workers)
+	if c.PprofAddr != "" {
+		addr, err := obs.StartPprof(c.PprofAddr)
+		if err != nil {
+			Fail(cmd, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: pprof at http://%s/debug/pprof/\n", cmd, addr)
+	}
+	if c.TracePath != "" {
+		if c.TraceWall {
+			c.tracer = obs.NewWallTracer()
+		} else {
+			c.tracer = obs.NewTracer()
+		}
+	}
+}
+
+// Tracer returns the tracer Apply built from the -trace/-trace-wall flags,
+// or nil when tracing is off — safe to pass anywhere, every obs.Tracer
+// method is nil-safe.
+func (c *Common) Tracer() *obs.Tracer { return c.tracer }
+
+// WriteTrace writes the collected trace — canonical spans followed by the
+// per-stage breakdown — to the -trace file. No-op when tracing is off.
+func (c *Common) WriteTrace(cmd string) {
+	if c.tracer == nil || c.TracePath == "" {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(c.tracer.Format())
+	if bd := c.tracer.FormatBreakdown(); bd != "" {
+		b.WriteString("\n")
+		b.WriteString(bd)
+	}
+	if err := os.WriteFile(c.TracePath, []byte(b.String()), 0o644); err != nil {
+		Fail(cmd, err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: trace written to %s (%d spans)\n", cmd, c.TracePath, c.tracer.Len())
 }
 
 // SynthConfig resolves the dataset flag to its generator configuration,

@@ -15,6 +15,7 @@ import (
 
 	"adascale/internal/adascale"
 	"adascale/internal/eval"
+	"adascale/internal/obs"
 	"adascale/internal/regressor"
 	"adascale/internal/rfcn"
 	"adascale/internal/synth"
@@ -46,6 +47,14 @@ type Bundle struct {
 
 	// SS is the single-scale baseline detector (trained at 600 only).
 	SS *rfcn.Detector
+
+	// Trace, when non-nil, records pipeline-stage spans for every method
+	// any experiment evaluates (each runner factory is wrapped with
+	// adascale.TracedRunner) plus one aggregate eval span per scoring
+	// pass. The caller owns the tracer's lifecycle — the bench harness
+	// resets it between experiments to attribute stage time per
+	// experiment.
+	Trace *obs.Tracer
 
 	systems map[string]*adascale.System
 }
@@ -147,8 +156,14 @@ func (b *Bundle) evaluateMethod(name string, factory adascale.RunnerFactory) Met
 // robustness sweep scores the same runners on fault-injected copies of the
 // validation split.
 func (b *Bundle) evaluateMethodOn(name string, snippets []synth.Snippet, factory adascale.RunnerFactory) MethodRow {
-	outputs := adascale.RunDataset(snippets, factory)
+	outputs := adascale.RunDataset(snippets, adascale.TracedRunner(factory, b.Trace))
+	// The scoring pass is traced as one whole-dataset aggregate span
+	// (stream/frame = -1): evaluation is not part of the deployed
+	// pipeline's runtime, so it carries no modelled cost — zero duration
+	// in virtual mode, measured duration in wall mode.
+	ref := b.Trace.Now()
 	res := eval.Evaluate(ToEval(outputs), len(b.DS.Config.Classes))
+	b.Trace.Record(-1, -1, obs.StageEval, 0, b.Trace.SinceMS(ref))
 	per := make([]float64, len(res.PerClass))
 	for i, c := range res.PerClass {
 		per[i] = c.AP

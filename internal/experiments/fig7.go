@@ -80,7 +80,9 @@ func applySeqNMS(outputs []adascale.FrameOutput) []adascale.FrameOutput {
 	copy(out, outputs)
 	for i := range out {
 		out[i].Detections = rescored[i]
-		out[i].OverheadMS += simclock.SeqNMSPerFrameMS
+		// Charged to the dedicated SeqNMSMS field (not OverheadMS) so the
+		// tracer attributes it as the seqnms stage; TotalMS is unchanged.
+		out[i].SeqNMSMS += simclock.SeqNMSPerFrameMS
 	}
 	return out
 }

@@ -1,4 +1,23 @@
-package serve
+// Package obs is the shared observability layer: the dependency-free
+// metrics registry (counters, gauges, exact-quantile histograms with a
+// deterministic text snapshot), the per-frame stage tracer, and the
+// profiling hooks (net/http/pprof wiring, CPU/heap dumps) every subsystem
+// and command shares.
+//
+// The registry began life inside internal/serve; it was promoted here so
+// the offline runners, the experiments layer and the benchmark harness can
+// record into the same structures the serving scheduler uses. The text
+// snapshot format is a contract — internal/serve re-exports these types,
+// and the committed golden snapshots under internal/regress/testdata
+// remain byte-identical across the move.
+//
+// Everything in this package is deterministic by construction when fed
+// deterministic inputs: snapshots render sections in fixed order with
+// names sorted and floats fixed-precision, and traces sort spans by
+// (stream, frame, stage) before rendering, so the registry's and tracer's
+// output is a pure function of what was recorded, never of goroutine
+// interleaving.
+package obs
 
 import (
 	"fmt"
@@ -7,11 +26,10 @@ import (
 	"sync"
 )
 
-// Metrics is the serving layer's dependency-free metrics registry:
-// counters, gauges and sample histograms keyed by slash-delimited names
-// ("frames/served", "stream/3/dropped", "latency/ms"). The scheduler
-// records every quantity in virtual simulation time, so for a fixed seed
-// and config the registry's final state — and therefore Snapshot() — is
+// Metrics is the dependency-free metrics registry: counters, gauges and
+// sample histograms keyed by slash-delimited names ("frames/served",
+// "stream/3/dropped", "latency/ms"). Recorded in virtual simulation time,
+// the registry's final state — and therefore Snapshot() — is
 // byte-identical across runs and worker counts, which is what makes
 // throughput/SLO experiments reproducible.
 //

@@ -1,7 +1,8 @@
-package serve
+package obs
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -88,5 +89,41 @@ func TestMetricsSnapshotDeterministic(t *testing.T) {
 	}
 	if NewMetrics().Snapshot() != "" {
 		t.Fatal("empty registry renders a non-empty snapshot")
+	}
+}
+
+func TestMetricsConcurrentAccess(t *testing.T) {
+	// Hammer every method from many goroutines; under -race this pins the
+	// registry's locking. The final state must equal the serial sum.
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.Inc("c", 1)
+				m.Set("g", float64(i))
+				m.SetMax("peak", float64(g*perG+i))
+				m.Observe("h", float64(i))
+				_ = m.Counter("c")
+				_ = m.Gauge("g")
+				_ = m.Quantile("h", 0.5)
+				_ = m.Mean("h")
+				_ = m.Count("h")
+				_ = m.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := m.Counter("c"); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := m.Count("h"); got != goroutines*perG {
+		t.Fatalf("hist count = %d, want %d", got, goroutines*perG)
+	}
+	if got := m.Gauge("peak"); got != goroutines*perG-1 {
+		t.Fatalf("peak = %v, want %d", got, goroutines*perG-1)
 	}
 }

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartPprofServes(t *testing.T) {
+	addr, err := StartPprof("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
+
+func TestStartPprofBadAddr(t *testing.T) {
+	if _, err := StartPprof("256.256.256.256:99999"); err == nil {
+		t.Fatal("want error for unusable address")
+	}
+}
+
+func TestProfileDumps(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sliver of work so the profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1e5; i++ {
+		x += float64(i)
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+
+	heap := filepath.Join(dir, "heap.out")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heap); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+
+	if _, err := StartCPUProfile(filepath.Join(dir, "no", "such", "dir.out")); err == nil {
+		t.Fatal("want error for unwritable cpu profile path")
+	}
+	if err := WriteHeapProfile(filepath.Join(dir, "no", "such", "dir.out")); err == nil {
+		t.Fatal("want error for unwritable heap profile path")
+	}
+}

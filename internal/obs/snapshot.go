@@ -1,4 +1,4 @@
-package serve
+package obs
 
 import (
 	"fmt"
@@ -72,7 +72,7 @@ func ParseSnapshot(s string) (*ParsedSnapshot, error) {
 		}
 		fields := strings.Fields(line)
 		bad := func(err error) error {
-			return fmt.Errorf("serve: snapshot line %d %q: %w", ln+1, line, err)
+			return fmt.Errorf("obs: snapshot line %d %q: %w", ln+1, line, err)
 		}
 		switch {
 		case fields[0] == "counter" && len(fields) == 3:

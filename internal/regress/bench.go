@@ -22,7 +22,14 @@ import (
 
 // SchemaVersion identifies the report layout; bump when fields change
 // incompatibly so old baselines fail loudly instead of comparing garbage.
-const SchemaVersion = 1
+// v2 added per-stage ns/op (Entry.Stages). Reports back to
+// MinSchemaVersion still load — v2 only added fields — so an old committed
+// baseline keeps gating until it is regenerated; Compare reports a finding
+// when the candidate's schema is older than the baseline's.
+const (
+	SchemaVersion    = 2
+	MinSchemaVersion = 1
+)
 
 // Machine records the hardware/runtime context a report was measured in.
 type Machine struct {
@@ -44,6 +51,17 @@ func CurrentMachine() Machine {
 	}
 }
 
+// String renders the machine stamp compactly for gate messages.
+func (m Machine) String() string {
+	return fmt.Sprintf("%s %s/%s cpu=%d maxprocs=%d",
+		m.GoVersion, m.GOOS, m.GOARCH, m.NumCPU, m.GOMAXPROCS)
+}
+
+// Equal reports whether two machine stamps match. Wall-clock comparisons
+// between reports from different machines are meaningless; the diff tool
+// refuses them unless the time gate is disabled.
+func (m Machine) Equal(o Machine) bool { return m == o }
+
 // Sample is one measured benchmark: mean wall time and allocations per
 // operation over Iters timed iterations (after one untimed warmup).
 type Sample struct {
@@ -60,6 +78,12 @@ type Entry struct {
 	Name string `json:"name"`
 	Sample
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// Stages (schema v2) apportions NsPerOp across pipeline stages by the
+	// tracer's deterministic virtual-time shares: stage_ns = ns_per_op ×
+	// stage_ms / total_ms. Comparing per-stage lets the gate localise a
+	// time regression to the stage that caused it.
+	Stages map[string]int64 `json:"stages_ns_per_op,omitempty"`
 }
 
 // Report is one full benchmark run.
@@ -78,6 +102,15 @@ func NewReport(config map[string]string) *Report {
 // Add appends one measured entry.
 func (r *Report) Add(name string, s Sample, metrics map[string]float64) {
 	r.Entries = append(r.Entries, Entry{Name: name, Sample: s, Metrics: metrics})
+}
+
+// SetStages attaches the per-stage ns/op breakdown to the named entry
+// (no-op if the entry does not exist). Kept separate from Add so callers
+// without stage attribution keep their call sites unchanged.
+func (r *Report) SetStages(name string, stages map[string]int64) {
+	if e := r.Entry(name); e != nil && len(stages) > 0 {
+		e.Stages = stages
+	}
 }
 
 // Entry returns the named entry, or nil.
@@ -110,8 +143,8 @@ func LoadReport(path string) (*Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("regress: %s: %w", path, err)
 	}
-	if r.Schema != SchemaVersion {
-		return nil, fmt.Errorf("regress: %s: schema %d, want %d", path, r.Schema, SchemaVersion)
+	if r.Schema < MinSchemaVersion || r.Schema > SchemaVersion {
+		return nil, fmt.Errorf("regress: %s: schema %d, want %d..%d", path, r.Schema, MinSchemaVersion, SchemaVersion)
 	}
 	if len(r.Entries) == 0 {
 		return nil, fmt.Errorf("regress: %s: no benchmark entries", path)
@@ -162,6 +195,12 @@ type CompareOptions struct {
 	// <= 0 means 1e-9 (the pipeline is bit-deterministic, so any real
 	// change is far larger).
 	AccuracyTol float64
+
+	// IgnoreTime disables the ns/op and per-stage time gates, leaving only
+	// the accuracy and coverage gates. This is how CI compares against a
+	// committed baseline measured on different hardware: wall time across
+	// machines is meaningless, accuracy must still reproduce exactly.
+	IgnoreTime bool
 }
 
 func (o CompareOptions) withDefaults() CompareOptions {
@@ -177,7 +216,7 @@ func (o CompareOptions) withDefaults() CompareOptions {
 // Regression is one comparator finding.
 type Regression struct {
 	Entry  string
-	Kind   string // "time", "accuracy", "missing-entry", "missing-metric"
+	Kind   string // "time", "stage", "accuracy", "missing-entry", "missing-metric", "schema"
 	Detail string
 }
 
@@ -195,6 +234,13 @@ func (r Regression) String() string {
 func Compare(base, cand *Report, opts CompareOptions) []Regression {
 	opts = opts.withDefaults()
 	var regs []Regression
+	// Schema compatibility: a candidate written by an older tool than the
+	// baseline's cannot carry everything the baseline gates on (e.g. v1
+	// has no stage breakdown against a v2 baseline).
+	if cand.Schema < base.Schema {
+		regs = append(regs, Regression{Entry: "report", Kind: "schema",
+			Detail: fmt.Sprintf("candidate schema %d older than baseline schema %d — regenerate the candidate", cand.Schema, base.Schema)})
+	}
 	for _, be := range base.Entries {
 		ce := cand.Entry(be.Name)
 		if ce == nil {
@@ -202,13 +248,29 @@ func Compare(base, cand *Report, opts CompareOptions) []Regression {
 				Detail: "benchmark present in baseline but absent from candidate"})
 			continue
 		}
-		if be.NsPerOp > 0 && ce.NsPerOp > 0 {
+		if !opts.IgnoreTime && be.NsPerOp > 0 && ce.NsPerOp > 0 {
 			limit := float64(be.NsPerOp) * (1 + opts.MaxTimeRegressPct/100)
 			if float64(ce.NsPerOp) > limit {
 				regs = append(regs, Regression{Entry: be.Name, Kind: "time",
 					Detail: fmt.Sprintf("ns/op %d -> %d (+%.1f%%, tolerance %.0f%%)",
 						be.NsPerOp, ce.NsPerOp,
 						100*(float64(ce.NsPerOp)/float64(be.NsPerOp)-1), opts.MaxTimeRegressPct)})
+			}
+			// Per-stage localisation (schema v2): a stage whose apportioned
+			// ns/op grew beyond the same tolerance is flagged by name, so a
+			// regression points at decode vs backbone vs seqnms instead of
+			// only at the total. Stages absent from either side are skipped
+			// (coverage can grow; a vanished stage shows up in the total).
+			for _, k := range sortedStageKeys(be.Stages) {
+				bs, cs := be.Stages[k], ce.Stages[k]
+				if bs <= 0 || cs <= 0 {
+					continue
+				}
+				if float64(cs) > float64(bs)*(1+opts.MaxTimeRegressPct/100) {
+					regs = append(regs, Regression{Entry: be.Name, Kind: "stage",
+						Detail: fmt.Sprintf("stage %s ns/op %d -> %d (+%.1f%%, tolerance %.0f%%)",
+							k, bs, cs, 100*(float64(cs)/float64(bs)-1), opts.MaxTimeRegressPct)})
+				}
 			}
 		}
 		for _, k := range sortedMetricKeys(be.Metrics) {
@@ -234,6 +296,15 @@ func Compare(base, cand *Report, opts CompareOptions) []Regression {
 		return regs[i].Detail < regs[j].Detail
 	})
 	return regs
+}
+
+func sortedStageKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func sortedMetricKeys(m map[string]float64) []string {

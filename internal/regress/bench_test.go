@@ -123,6 +123,80 @@ func TestCompareFlagsMissingCoverage(t *testing.T) {
 	}
 }
 
+func TestCompareFlagsStageRegression(t *testing.T) {
+	stages := func(detect int64) map[string]int64 {
+		return map[string]int64{"decode": 100, "detect": detect, "regress": 50}
+	}
+	base, cand := sampleReport(), sampleReport()
+	base.SetStages("table1", stages(500))
+	// The total stays within tolerance while one stage blows past it:
+	// the gate localises the regression to the stage by name.
+	cand.Entries[0].NsPerOp = 1100        // +10% < 25% tolerance
+	cand.SetStages("table1", stages(900)) // +80% on detect
+	regs := Compare(base, cand, CompareOptions{})
+	if len(regs) != 1 || regs[0].Kind != "stage" || !strings.Contains(regs[0].Detail, "stage detect") {
+		t.Fatalf("regressions = %v", regs)
+	}
+	// IgnoreTime silences stage findings along with the total-time gate.
+	if regs := Compare(base, cand, CompareOptions{IgnoreTime: true}); len(regs) != 0 {
+		t.Fatalf("IgnoreTime still flagged: %v", regs)
+	}
+	// Identical stages are clean; a v1 baseline without stages never
+	// triggers the stage gate against a v2 candidate.
+	cand.SetStages("table1", stages(500))
+	if regs := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("identical stages flagged: %v", regs)
+	}
+	base.Entry("table1").Stages = nil
+	cand.SetStages("table1", stages(9999))
+	if regs := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("stage gate fired without baseline stages: %v", regs)
+	}
+}
+
+func TestCompareFlagsSchemaDowngrade(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	cand.Schema = SchemaVersion - 1
+	regs := Compare(base, cand, CompareOptions{})
+	if len(regs) != 1 || regs[0].Kind != "schema" {
+		t.Fatalf("schema downgrade regressions = %v", regs)
+	}
+	// Newer candidate against an older baseline is fine.
+	base.Schema = SchemaVersion - 1
+	cand.Schema = SchemaVersion
+	if regs := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("schema upgrade flagged: %v", regs)
+	}
+}
+
+func TestCompareIgnoreTimeStillGatesAccuracy(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	cand.Entries[0].NsPerOp = 99999 // huge time regression, ignored
+	if regs := Compare(base, cand, CompareOptions{IgnoreTime: true}); len(regs) != 0 {
+		t.Fatalf("IgnoreTime still flagged time: %v", regs)
+	}
+	cand.Entries[0].Metrics["map/adascale"] = 0.1
+	regs := Compare(base, cand, CompareOptions{IgnoreTime: true})
+	if len(regs) != 1 || regs[0].Kind != "accuracy" {
+		t.Fatalf("regressions = %v", regs)
+	}
+}
+
+func TestMachineStamp(t *testing.T) {
+	m := CurrentMachine()
+	if !m.Equal(CurrentMachine()) {
+		t.Fatal("machine stamp not equal to itself")
+	}
+	o := m
+	o.NumCPU++
+	if m.Equal(o) {
+		t.Fatal("different machine stamps compare equal")
+	}
+	if s := m.String(); !strings.Contains(s, m.GoVersion) {
+		t.Fatalf("stamp %q does not name the Go version", s)
+	}
+}
+
 func TestGuardedMetric(t *testing.T) {
 	for key, want := range map[string]bool{
 		"map/adascale":        true,

@@ -1,0 +1,31 @@
+package serve
+
+import "adascale/internal/obs"
+
+// The metrics registry and snapshot parser started life in this package
+// and were promoted to internal/obs so the offline runners, experiments
+// and benchmark harness share them. These aliases keep every serve-facing
+// name working and — because they are type aliases, not wrappers — keep
+// the snapshot text format and the committed golden snapshots
+// byte-identical.
+
+// Metrics is the serving layer's metrics registry (now obs.Metrics).
+type Metrics = obs.Metrics
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// SnapshotCounter is one parsed counter line.
+type SnapshotCounter = obs.SnapshotCounter
+
+// SnapshotGauge is one parsed gauge line.
+type SnapshotGauge = obs.SnapshotGauge
+
+// SnapshotHist is one parsed histogram summary line.
+type SnapshotHist = obs.SnapshotHist
+
+// ParsedSnapshot is the structured form of a Metrics.Snapshot text.
+type ParsedSnapshot = obs.ParsedSnapshot
+
+// ParseSnapshot parses the text produced by Metrics.Snapshot.
+func ParseSnapshot(s string) (*ParsedSnapshot, error) { return obs.ParseSnapshot(s) }

@@ -158,7 +158,7 @@ func (l *eventLoop) start(i int) {
 	} else {
 		serviceMS = simclock.DetectMS(qf.frame.W, qf.frame.H, plan.Scale) + s.sess.Overhead() + plan.JitterMS
 		inf.res = make(chan computeResult, 1)
-		frame, scale, res := qf.frame, plan.Scale, inf.res
+		frame, scale, res, tr := qf.frame, plan.Scale, inf.res, l.cfg.Tracer
 		l.pool.Submit(func(w workerState) {
 			// A panicking frame must still deliver a result — the loop
 			// blocks on res at the completion event — and must still
@@ -169,8 +169,12 @@ func (l *eventLoop) start(i int) {
 					panic(r)
 				}
 			}()
+			ref := tr.Now()
 			r := w.det.DetectWithFeatures(frame, scale)
-			res <- computeResult{r: r, t: w.reg.Forward(r.Features)}
+			detWall := tr.SinceMS(ref)
+			ref = tr.Now()
+			t := w.reg.Forward(r.Features)
+			res <- computeResult{r: r, t: t, detWallMS: detWall, regWallMS: tr.SinceMS(ref)}
 		})
 	}
 
@@ -193,12 +197,13 @@ func (l *eventLoop) complete(ev event) {
 
 	latency := l.clockMS - inf.arrivalMS
 	var out adascale.FrameOutput
+	var cr computeResult
 	switch {
 	case inf.res == nil:
 		l.metrics.Inc("frames/skipped", 1)
 		out = s.sess.Finish(inf.frame, inf.plan, nil, 0, latency)
 	default:
-		cr := <-inf.res
+		cr = <-inf.res
 		if cr.err != nil {
 			// A poisoned frame degrades like a sensed fault: the session
 			// propagates its last good detections with explicit
@@ -223,10 +228,34 @@ func (l *eventLoop) complete(ev event) {
 	if out.Health.Fallback != adascale.FallbackNone {
 		l.metrics.Inc("fallback/"+out.Health.Fallback.String(), 1)
 	}
-	if l.cfg.SLOMS > 0 && latency > l.cfg.SLOMS {
+	sloMissed := l.cfg.SLOMS > 0 && latency > l.cfg.SLOMS
+	if sloMissed {
 		s.sloMiss++
 		l.metrics.Inc("slo/miss", 1)
 		l.metrics.Inc(fmt.Sprintf("stream/%d/slo_miss", s.id), 1)
 	}
+	l.trace(s, out, cr, inf.startMS, sloMissed)
 	l.dispatch()
+}
+
+// trace records the served frame's pipeline-stage spans (start = the
+// frame's dispatch time on the virtual clock) and the per-stage metric
+// histograms — overall, per-stream, and per-SLO-miss, so a miss can be
+// localised to the stage that ate the budget. No-op without a tracer, so
+// untraced snapshots stay byte-identical to the pre-tracing format.
+func (l *eventLoop) trace(s *session, out adascale.FrameOutput, cr computeResult, startMS float64, sloMissed bool) {
+	tr := l.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	spans := adascale.FrameSpans(tr, s.id, len(s.outputs)-1, startMS, out, cr.detWallMS, cr.regWallMS)
+	tr.Add(spans)
+	for _, sp := range spans {
+		stage := sp.Stage.String()
+		l.metrics.Observe("stage/"+stage+"/ms", sp.DurMS)
+		l.metrics.Observe(fmt.Sprintf("stream/%d/stage/%s/ms", s.id, stage), sp.DurMS)
+		if sloMissed {
+			l.metrics.Observe("slo_miss/stage/"+stage+"/ms", sp.DurMS)
+		}
+	}
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"adascale/internal/adascale"
+	"adascale/internal/obs"
 	"adascale/internal/parallel"
 	"adascale/internal/regressor"
 	"adascale/internal/rfcn"
@@ -72,6 +73,18 @@ type Config struct {
 	// OnTick, if set, is called from the event loop at every tick with
 	// the current virtual time and the live metrics registry.
 	OnTick func(simMS float64, m *Metrics)
+
+	// Tracer, when non-nil, makes the scheduler record one span per
+	// pipeline stage per served frame (stream = stream ID, frame = index
+	// within the stream, start = the frame's dispatch time on the virtual
+	// clock) and adds per-stage histograms to the metrics registry:
+	// stage/<name>/ms, stream/<id>/stage/<name>/ms, and — for frames that
+	// missed the SLO — slo_miss/stage/<name>/ms, so an SLO investigation
+	// can see which stage the missing milliseconds went to. With a
+	// wall-mode tracer the detect/regress stages carry measured wall time
+	// (profiling aid; not deterministic). Nil leaves the snapshot exactly
+	// as it was before tracing existed.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +95,9 @@ func (c Config) withDefaults() Config {
 		c.QueueDepth = 8
 	}
 	c.Resilient.DeadlineMS = c.SLOMS
+	// The scheduler records spans itself with true event-loop timestamps;
+	// a session-level tracer would record every frame twice.
+	c.Resilient.Tracer = nil
 	return c
 }
 

@@ -48,11 +48,15 @@ type inflightFrame struct {
 
 // computeResult is what a pool worker hands back to the event loop: the
 // detector pass, the regressor's scale prediction, or the recovered panic
-// if the frame poisoned the worker.
+// if the frame poisoned the worker. With a wall-mode tracer attached the
+// worker also measures the real elapsed time of the two compute stages.
 type computeResult struct {
 	r   *rfcn.Result
 	t   float64
 	err error
+
+	detWallMS float64
+	regWallMS float64
 }
 
 // push enqueues an arrival under the bounded drop-oldest policy and

@@ -55,6 +55,32 @@ func DetectMS(w, h, scale int) float64 {
 	return DetectorBaseMS + (detectorAt600MS-DetectorBaseMS)*px/refPixels
 }
 
+// rescaleShare is the fraction of the resolution-dependent detector cost
+// attributed to image rescaling (resize + normalise + layout) rather than
+// the backbone + head; preprocessing is memory-bound and scales with
+// pixels just like the convolutions, at roughly a tenth of their cost.
+const rescaleShare = 0.1
+
+// SplitDetectMS decomposes a DetectMS result into the stage costs the
+// tracer attributes: decode (the fixed per-image bookkeeping,
+// DetectorBaseMS), rescale (preprocessing share of the pixel term) and
+// backbone (the rest — backbone + detection head). The three parts sum
+// exactly to detectorMS, so a stage breakdown never invents or loses time
+// relative to the end-to-end cost model.
+func SplitDetectMS(detectorMS float64) (decodeMS, rescaleMS, backboneMS float64) {
+	decodeMS = DetectorBaseMS
+	if detectorMS < decodeMS {
+		decodeMS = detectorMS
+	}
+	if decodeMS < 0 {
+		decodeMS = 0
+	}
+	px := detectorMS - decodeMS
+	rescaleMS = px * rescaleShare
+	backboneMS = px - rescaleMS
+	return decodeMS, rescaleMS, backboneMS
+}
+
 // RegressorMS returns the scale-regressor overhead for the given kernel
 // set (e.g. []int{1,3}; the paper's default).
 func RegressorMS(kernels []int) float64 {

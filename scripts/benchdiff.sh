@@ -1,21 +1,67 @@
 #!/bin/sh
 # benchdiff.sh — compare two adascale-bench JSON reports and fail on
 # regression. A regression is a ns/op increase beyond the tolerance
-# (default 25%, third argument) or ANY decrease of a guarded accuracy
-# metric ("map"-prefixed keys); entries or guarded metrics present in the
+# (default 25%, trailing argument) on the total OR on any single pipeline
+# stage (schema v2 localises time regressions to decode/rescale/detect/
+# regress/seqnms), or ANY decrease of a guarded accuracy metric
+# ("map"-prefixed keys); entries or guarded metrics present in the
 # baseline but missing from the candidate also fail (lost coverage).
 #
-# Usage: scripts/benchdiff.sh baseline.json candidate.json [max-time-regress-pct]
+# Usage:
+#   scripts/benchdiff.sh [-accuracy-only] baseline.json candidate.json [max-time-regress-pct]
+#   scripts/benchdiff.sh -selftest
 #
-# Generate a candidate with:
-#   go run ./cmd/adascale-bench -train 16 -val 8 -seed 5 -json candidate.json
+# Reports measured on different machines refuse to compare (exit 2) —
+# wall-clock across machines is meaningless. Either pass -accuracy-only
+# to gate only on the deterministic accuracy metrics (how CI compares a
+# fresh run against the committed baseline), or regenerate the baseline
+# on this machine and commit it:
+#
+#   go run ./cmd/adascale-bench -train 16 -val 8 -seed 5 -json BENCH_4.json
+#
+# -selftest validates the gate itself: it synthesises a candidate whose
+# total ns/op is within tolerance but whose detect stage grew 80%, and
+# asserts the diff flags exactly that stage.
 set -eu
 cd "$(dirname "$0")/.."
 
+accuracy=""
+if [ "${1:-}" = "-accuracy-only" ]; then
+	accuracy="-accuracy-only"
+	shift
+fi
+
+if [ "${1:-}" = "-selftest" ]; then
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+	machine='{"go_version":"go0.0","goos":"linux","goarch":"amd64","num_cpu":1,"gomaxprocs":1}'
+	cat >"$tmp/base.json" <<EOF
+{"schema":2,"machine":$machine,"entries":[{"name":"selftest","ns_per_op":1000,"allocs_per_op":1,"iters":1,"metrics":{"map/selftest":0.5},"stages_ns_per_op":{"decode":100,"detect":500,"regress":50}}]}
+EOF
+	cat >"$tmp/cand.json" <<EOF
+{"schema":2,"machine":$machine,"entries":[{"name":"selftest","ns_per_op":1050,"allocs_per_op":1,"iters":1,"metrics":{"map/selftest":0.5},"stages_ns_per_op":{"decode":100,"detect":900,"regress":50}}]}
+EOF
+	# The baseline must self-compare clean...
+	go run ./cmd/adascale-bench -diff "$tmp/base.json" -diff-to "$tmp/base.json" >/dev/null
+	# ...and the single-stage regression must be flagged and localised.
+	if go run ./cmd/adascale-bench -diff "$tmp/base.json" -diff-to "$tmp/cand.json" >/dev/null 2>"$tmp/err"; then
+		echo "benchdiff selftest: stage regression NOT flagged" >&2
+		exit 1
+	fi
+	if ! grep -q "stage detect" "$tmp/err"; then
+		echo "benchdiff selftest: regression not localised to the detect stage; got:" >&2
+		cat "$tmp/err" >&2
+		exit 1
+	fi
+	echo "benchdiff selftest: OK — single-stage regression localised to its stage"
+	exit 0
+fi
+
 if [ "$#" -lt 2 ]; then
-	echo "usage: $0 baseline.json candidate.json [max-time-regress-pct]" >&2
+	echo "usage: $0 [-accuracy-only] baseline.json candidate.json [max-time-regress-pct]" >&2
+	echo "       $0 -selftest" >&2
 	exit 2
 fi
 pct=${3:-25}
 
-exec go run ./cmd/adascale-bench -diff "$1" -diff-to "$2" -max-time-regress "$pct"
+exec go run ./cmd/adascale-bench -diff "$1" -diff-to "$2" -max-time-regress "$pct" $accuracy

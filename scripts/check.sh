@@ -3,39 +3,83 @@
 # build, and the full test suite under the race detector. The race run
 # matters because RunDataset, label generation and snippet synthesis all
 # fan out across the worker pool by default.
-set -eu
+#
+# Locally the gate fails fast: the first broken gate stops the run.
+# In CI mode (-ci flag or CHECK_CI_MODE=1, the mode `make ci` and the
+# GitHub workflow use) every gate runs even after a failure so one push
+# reports all breakage at once, each failure is emitted as a GitHub
+# Actions error annotation (::error ...), and the script exits non-zero
+# at the end if anything failed.
+set -u
 cd "$(dirname "$0")/.."
 
+ci=0
+[ "${CHECK_CI_MODE:-0}" = "1" ] && ci=1
+[ "${1:-}" = "-ci" ] && ci=1
+
+fails=0
+failed() { # failed <gate> <message>
+	fails=$((fails + 1))
+	if [ "$ci" = 1 ]; then
+		echo "::error title=${1}::${2}"
+	else
+		echo "check.sh: $1 failed: $2" >&2
+		exit 1
+	fi
+}
+
+gate() { # gate <name> <command...>
+	name=$1
+	shift
+	echo "== $name"
+	"$@" || failed "$name" "$* (exit $?)"
+}
+
+# gofmt reports per file so CI annotates each unformatted file in place.
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
-	echo "gofmt needed on:"
-	echo "$unformatted"
-	exit 1
+	if [ "$ci" = 1 ]; then
+		for f in $unformatted; do
+			echo "::error file=${f}::gofmt needed"
+		done
+		fails=$((fails + 1))
+	else
+		echo "gofmt needed on:"
+		echo "$unformatted"
+		exit 1
+	fi
 fi
 
-go vet ./...
-go build ./...
+gate "go-vet" go vet ./...
+gate "go-build" go build ./...
 # -timeout covers the heavy experiment harnesses on small machines: the
 # race detector slows the regressor-training loops by ~10x. -shuffle=on
 # randomizes test order within each package so leaked package-level state
 # (e.g. a SetWorkers override surviving a t.Fatal) fails loudly instead
 # of depending on declaration order.
-go test -race -shuffle=on -timeout 60m ./...
+gate "go-test-race" go test -race -shuffle=on -timeout 60m ./...
 
 # Brief randomized fuzzing on top of the committed seed corpus — the NMS
 # and evaluator harnesses must hold on degenerate boxes (NaN/Inf
 # coordinates, out-of-range classes) far beyond what the unit tests pin.
-go test -run='^$' -fuzz='^FuzzNMS$' -fuzztime=5s ./internal/detect
-go test -run='^$' -fuzz='^FuzzEvaluate$' -fuzztime=5s ./internal/eval
-go test -run='^$' -fuzz='^FuzzLoadgen$' -fuzztime=5s ./internal/serve
+gate "fuzz-nms" go test -run='^$' -fuzz='^FuzzNMS$' -fuzztime=5s ./internal/detect
+gate "fuzz-evaluate" go test -run='^$' -fuzz='^FuzzEvaluate$' -fuzztime=5s ./internal/eval
+gate "fuzz-loadgen" go test -run='^$' -fuzz='^FuzzLoadgen$' -fuzztime=5s ./internal/serve
 
 # End-to-end serving gate under the race detector: 200 simulated frames
 # across 4 streams at an unloaded rate must serve with zero drops and a
 # non-empty metrics snapshot (-smoke exits non-zero otherwise).
-go run -race ./cmd/adascale-serve -streams 4 -frames 50 -rate 5 \
+gate "serve-smoke" go run -race ./cmd/adascale-serve -streams 4 -frames 50 -rate 5 \
 	-slo-ms 0 -tick-ms 0 -train 8 -val 4 -workers 4 -seed 5 -smoke
 
-# Benchmark-report gate: the committed baseline must parse, carry a known
-# schema, and self-compare clean (zero regressions).
-./scripts/benchdiff.sh BENCH_4.json BENCH_4.json
+# Benchmark-report gates: the diff tool must localise a synthetic
+# single-stage regression (its self-validation), and the committed
+# baseline must parse, carry a known schema, and self-compare clean.
+gate "benchdiff-selftest" ./scripts/benchdiff.sh -selftest
+gate "benchdiff-baseline" ./scripts/benchdiff.sh BENCH_4.json BENCH_4.json
+
+if [ "$fails" -gt 0 ]; then
+	echo "tier-1 gate: $fails gate(s) FAILED" >&2
+	exit 1
+fi
 echo "tier-1 gate: OK"
