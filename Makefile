@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench fuzz-smoke serve-smoke benchdiff golden
+.PHONY: check ci fmt vet build test race bench microbench fuzz-smoke serve-smoke benchdiff golden
 
 check: fmt vet build race fuzz-smoke serve-smoke benchdiff
 
@@ -41,6 +41,13 @@ race:
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem .
 
+# Kernel-level microbenchmarks: matmul (serial vs packed), im2col, the
+# fused convolution vs the historical im2col+matmul lowering, and the
+# arena pool. Informational — run on hot-path kernel changes and in CI
+# for the log; the end-to-end gate is benchdiff on BENCH_4.json.
+microbench:
+	$(GO) test -run=^$$ -bench=. -benchmem ./internal/tensor
+
 # Brief randomized fuzzing on top of the committed seed corpus (the seeds
 # themselves already run as regular tests). `go test -fuzz` accepts one
 # target per invocation, hence one line per harness.
@@ -69,7 +76,8 @@ benchdiff:
 # Regenerate every committed conformance artifact after a deliberate
 # behaviour change in one pass: the golden traces (including the
 # per-stage breakdown and serving stage-snapshot goldens), a verifying
-# re-run, and the schema-v2 benchmark baseline with per-stage ns/op.
+# re-run, and the schema-v3 benchmark baseline with per-stage ns/op and
+# allocs/op.
 # Review the diff like any other code change.
 golden:
 	$(GO) test ./internal/regress -update

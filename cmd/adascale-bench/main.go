@@ -33,7 +33,9 @@
 // In report mode every experiment additionally runs under the pipeline
 // tracer and its ns/op is apportioned across stages by the deterministic
 // virtual-time shares (schema v2, Entry.Stages), so a time regression can
-// be localised to a stage. Comparisons refuse reports measured on
+// be localised to a stage; allocs/op is apportioned the same way (schema
+// v3, Entry.StageAllocs) and gated at -max-alloc-regress percent (default
+// 10). Comparisons refuse reports measured on
 // different machines unless -accuracy-only disables the (meaningless)
 // cross-machine time gate and compares only the deterministic accuracy
 // metrics — the mode CI uses against the committed baseline.
@@ -193,6 +195,7 @@ func main() {
 	diffTo := flag.String("diff-to", "", "compare-only: candidate report file")
 	benchTime := flag.Duration("bench-time", 0, "minimum timed duration per benchmark in -json/-baseline mode (0 = one iteration)")
 	maxTimePct := flag.Float64("max-time-regress", 25, "allowed ns/op increase in percent before a comparison fails")
+	maxAllocPct := flag.Float64("max-alloc-regress", 10, "allowed allocs/op increase in percent before a comparison fails")
 	accuracyOnly := flag.Bool("accuracy-only", false, "gate only on accuracy metrics; skip the ns/op time gates (for cross-machine comparisons)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -200,7 +203,7 @@ func main() {
 	common.Apply("adascale-bench")
 
 	fail := func(err error) { cli.Fail("adascale-bench", err) }
-	opts := regress.CompareOptions{MaxTimeRegressPct: *maxTimePct, IgnoreTime: *accuracyOnly}
+	opts := regress.CompareOptions{MaxTimeRegressPct: *maxTimePct, MaxAllocRegressPct: *maxAllocPct, IgnoreTime: *accuracyOnly}
 
 	// Compare-only mode: no dataset, no benchmarks — just the gate.
 	if *diffBase != "" || *diffTo != "" {
@@ -281,7 +284,9 @@ func main() {
 			b.Trace.Reset()
 			sample := regress.Measure(runOnce, *benchTime)
 			report.Add(er.name, sample, metrics)
-			report.SetStages(er.name, stageNsPerOp(sample.NsPerOp, b.Trace))
+			report.SetStages(er.name,
+				stagePerOp(sample.NsPerOp, b.Trace),
+				stagePerOp(sample.AllocsPerOp, b.Trace))
 		} else {
 			runOnce()
 		}
@@ -330,12 +335,13 @@ func main() {
 	}
 }
 
-// stageNsPerOp apportions one benchmark's ns/op across pipeline stages by
-// the tracer's virtual-time shares. The breakdown accumulates over the
-// warmup and every timed iteration, but the shares are ratio-invariant
-// under the deterministic pipeline, so stage_ns = ns_per_op × stage_ms /
-// total_ms holds regardless of the iteration count.
-func stageNsPerOp(nsPerOp int64, tr *obs.Tracer) map[string]int64 {
+// stagePerOp apportions one benchmark's per-op total (ns/op or allocs/op)
+// across pipeline stages by the tracer's virtual-time shares. The
+// breakdown accumulates over the warmup and every timed iteration, but the
+// shares are ratio-invariant under the deterministic pipeline, so
+// stage_value = value_per_op × stage_ms / total_ms holds regardless of the
+// iteration count.
+func stagePerOp(perOp int64, tr *obs.Tracer) map[string]int64 {
 	bd := tr.Breakdown()
 	total := 0.0
 	for _, ms := range bd {
@@ -349,7 +355,7 @@ func stageNsPerOp(nsPerOp int64, tr *obs.Tracer) map[string]int64 {
 		if ms <= 0 {
 			continue
 		}
-		out[obs.Stage(st).String()] = int64(float64(nsPerOp) * ms / total)
+		out[obs.Stage(st).String()] = int64(float64(perOp) * ms / total)
 	}
 	return out
 }

@@ -81,6 +81,7 @@ func RunFixed(det *rfcn.Detector, sn *synth.Snippet, scale int) []FrameOutput {
 			Detections: r.PlainDetections(),
 			DetectorMS: r.RuntimeMS,
 		})
+		r.Release()
 	}
 	return outputs
 }
@@ -103,7 +104,10 @@ func RunAdaScale(det *rfcn.Detector, reg *regressor.Regressor, sn *synth.Snippet
 		})
 		// Regress t, invert Eq. 3 against the current base size, then
 		// round and clip — the scale for the next frame.
-		t := reg.Forward(r.Features)
+		t := reg.Predict(r.Features)
+		det.Recycle(r.Features)
+		r.Features = nil
+		r.Release()
 		targetScale = regressor.DecodeScale(t, targetScale)
 	}
 	return outputs
@@ -123,6 +127,7 @@ func RunRandom(det *rfcn.Detector, sn *synth.Snippet, scales []int, rng *rand.Ra
 			Detections: r.PlainDetections(),
 			DetectorMS: r.RuntimeMS,
 		})
+		r.Release()
 	}
 	return outputs
 }
@@ -132,14 +137,16 @@ func RunRandom(det *rfcn.Detector, sn *synth.Snippet, scales []int, rng *rand.Ra
 // and expensive — the detector cost is the sum over scales.
 func RunMultiShot(det *rfcn.Detector, sn *synth.Snippet, scales []int) []FrameOutput {
 	outputs := make([]FrameOutput, 0, len(sn.Frames))
+	var all []detect.Detection // union buffer, reused across frames
 	for i := range sn.Frames {
 		f := &sn.Frames[i]
-		var all []detect.Detection
+		all = all[:0]
 		var cost float64
 		for _, s := range scales {
 			r := det.Detect(f, s)
-			all = append(all, r.PlainDetections()...)
+			all = r.AppendDetections(all)
 			cost += r.RuntimeMS
+			r.Release()
 		}
 		merged := detect.NMS(all, rfcn.NMSThreshold, rfcn.TopK)
 		outputs = append(outputs, FrameOutput{

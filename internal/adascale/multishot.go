@@ -59,11 +59,12 @@ func RunAdaScaleMultiShot(det *rfcn.Detector, reg *regressor.Regressor, sn *synt
 		if targetScale < cfg.SecondShotBelow {
 			second := det.Detect(f, cfg.TopScale)
 			cost += second.RuntimeMS
-			for _, d := range second.PlainDetections() {
-				if d.Score >= cfg.MinSecondScore {
+			for i := range second.Detections {
+				if d := second.Detections[i].Detection; d.Score >= cfg.MinSecondScore {
 					dets = append(dets, d)
 				}
 			}
+			second.Release()
 			dets = detect.NMS(dets, rfcn.NMSThreshold, rfcn.TopK)
 		}
 
@@ -73,7 +74,10 @@ func RunAdaScaleMultiShot(det *rfcn.Detector, reg *regressor.Regressor, sn *synt
 			DetectorMS: cost,
 			OverheadMS: overhead,
 		})
-		targetScale = regressor.DecodeScale(reg.Forward(r.Features), targetScale)
+		targetScale = regressor.DecodeScale(reg.Predict(r.Features), targetScale)
+		det.Recycle(r.Features)
+		r.Features = nil
+		r.Release()
 	}
 	return outputs
 }

@@ -440,7 +440,9 @@ func (s *ResilientSession) Step(det *rfcn.Detector, reg *regressor.Regressor, f 
 	r := det.DetectWithFeatures(f, p.Scale)
 	detWall := s.tracer.SinceMS(ref)
 	ref = s.tracer.Now()
-	t := reg.Forward(r.Features)
+	t := reg.Predict(r.Features)
+	det.Recycle(r.Features)
+	r.Features = nil
 	regWall := s.tracer.SinceMS(ref)
 	out := s.Finish(f, p, r, t, r.RuntimeMS+s.overhead+p.JitterMS)
 	s.traceStep(out, detWall, regWall)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Box is an axis-aligned bounding box in native image coordinates
@@ -111,39 +112,98 @@ type GroundTruth struct {
 	Class int
 }
 
+// byClassScore orders detections by (class ascending, score descending);
+// byScore orders by score descending. Concrete sort.Interface types keep
+// sort.Stable off the sort.Slice reflection path (reflectlite.Swapper
+// allocated on every call in the detect hot loop).
+type byClassScore []Detection
+
+func (s byClassScore) Len() int      { return len(s) }
+func (s byClassScore) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s byClassScore) Less(i, j int) bool {
+	if s[i].Class != s[j].Class {
+		return s[i].Class < s[j].Class
+	}
+	return s[i].Score > s[j].Score
+}
+
+type byScore []Detection
+
+func (s byScore) Len() int           { return len(s) }
+func (s byScore) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s byScore) Less(i, j int) bool { return s[i].Score > s[j].Score }
+
 // NMS performs class-wise greedy non-maximum suppression with the given IoU
 // threshold, returning at most topK detections sorted by descending score
 // (topK ≤ 0 means unlimited). The paper uses threshold 0.3 and topK 300.
+//
+// One stable sort by (class, -score) replaces the historical
+// group-by-class-map + sorted-class iteration + per-class stable score
+// sort: grouping preserved the input's relative order within a class, so
+// both arrangements list classes ascending with each class segment in
+// stable descending-score order, and the greedy suppression — purely
+// per-class — sees each segment in the identical order. The output is
+// therefore unchanged, detection for detection.
 func NMS(dets []Detection, iouThreshold float64, topK int) []Detection {
-	byClass := map[int][]Detection{}
-	for _, d := range dets {
-		byClass[d.Class] = append(byClass[d.Class], d)
+	return NMSAppend(nil, dets, iouThreshold, topK)
+}
+
+// nmsScratch holds NMS's working copy and suppression flags between calls;
+// both are fully overwritten (copy / cleared re-slice) before use, so a
+// recycled instance is indistinguishable from a fresh one.
+type nmsScratch struct {
+	work       []Detection
+	suppressed []bool
+}
+
+var nmsScratchPool = sync.Pool{New: func() any { return new(nmsScratch) }}
+
+// NMSAppend is NMS with caller-owned result storage: surviving detections
+// are appended to dst (which may be nil) and the extended slice returned.
+// Only the appended segment is ordered and truncated to topK; anything
+// already in dst is left untouched. The internal working copy and
+// suppression flags come from a pool, so a steady-state caller passing a
+// recycled dst allocates nothing.
+func NMSAppend(dst, dets []Detection, iouThreshold float64, topK int) []Detection {
+	if len(dets) == 0 {
+		return dst
 	}
-	var kept []Detection
-	classes := make([]int, 0, len(byClass))
-	for c := range byClass {
-		classes = append(classes, c)
+	sc := nmsScratchPool.Get().(*nmsScratch)
+	if cap(sc.work) < len(dets) {
+		sc.work = make([]Detection, len(dets))
+		sc.suppressed = make([]bool, len(dets))
 	}
-	sort.Ints(classes) // deterministic iteration
-	for _, c := range classes {
-		ds := byClass[c]
-		sort.SliceStable(ds, func(i, j int) bool { return ds[i].Score > ds[j].Score })
-		suppressed := make([]bool, len(ds))
-		for i := range ds {
+	work := sc.work[:len(dets)]
+	copy(work, dets)
+	suppressed := sc.suppressed[:len(dets)]
+	for i := range suppressed {
+		suppressed[i] = false
+	}
+	sort.Stable(byClassScore(work))
+	base := len(dst)
+	kept := dst
+	for lo := 0; lo < len(work); {
+		hi := lo + 1
+		for hi < len(work) && work[hi].Class == work[lo].Class {
+			hi++
+		}
+		for i := lo; i < hi; i++ {
 			if suppressed[i] {
 				continue
 			}
-			kept = append(kept, ds[i])
-			for j := i + 1; j < len(ds); j++ {
-				if !suppressed[j] && IoU(ds[i].Box, ds[j].Box) > iouThreshold {
+			kept = append(kept, work[i])
+			for j := i + 1; j < hi; j++ {
+				if !suppressed[j] && IoU(work[i].Box, work[j].Box) > iouThreshold {
 					suppressed[j] = true
 				}
 			}
 		}
+		lo = hi
 	}
-	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Score > kept[j].Score })
-	if topK > 0 && len(kept) > topK {
-		kept = kept[:topK]
+	nmsScratchPool.Put(sc)
+	sort.Stable(byScore(kept[base:]))
+	if topK > 0 && len(kept)-base > topK {
+		kept = kept[:base+topK]
 	}
 	return kept
 }

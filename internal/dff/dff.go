@@ -117,7 +117,9 @@ func run(det *rfcn.Detector, reg *regressor.Regressor, sn *synth.Snippet, keySca
 				OverheadMS: overhead,
 			})
 			if reg != nil {
-				targetScale = regressor.DecodeScale(reg.Forward(r.Features), targetScale)
+				targetScale = regressor.DecodeScale(reg.Predict(r.Features), targetScale)
+				det.Recycle(r.Features)
+				r.Features = nil
 			}
 			keyRender = f.Render(renderShort, maxLong, det.Data.RenderDiv)
 			continue

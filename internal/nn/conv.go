@@ -21,6 +21,10 @@ type Conv2D struct {
 	lastCols       *tensor.Tensor
 	lastH, lastW   int
 	lastHo, lastWo int
+
+	// wm is the OutC × (InC·K·K) view of Weight.W, built once — the
+	// reshape shares storage, so weight updates flow through.
+	wm *tensor.Tensor
 }
 
 // NewConv2D creates a convolution with He-initialised weights and zero
@@ -47,9 +51,14 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	h, w := x.Dim(1), x.Dim(2)
 	ho := tensor.ConvOutSize(h, c.Kernel, c.Stride, c.Pad)
 	wo := tensor.ConvOutSize(w, c.Kernel, c.Stride, c.Pad)
-	cols := tensor.Im2Col(x, c.Kernel, c.Stride, c.Pad)
-	wm := c.Weight.W.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
-	out := tensor.MatMul(wm, cols) // OutC × (Ho·Wo)
+	// Reuse the im2col scratch across calls when the spatial size repeats
+	// (the training loop presents same-sized feature maps every step).
+	cols := c.lastCols
+	if cols == nil || cols.Dim(0) != c.InC*c.Kernel*c.Kernel || cols.Dim(1) != ho*wo {
+		cols = tensor.New(c.InC*c.Kernel*c.Kernel, ho*wo)
+	}
+	tensor.Im2ColInto(cols, x, c.Kernel, c.Stride, c.Pad)
+	out := tensor.MatMul(c.weightMatrix(), cols) // OutC × (Ho·Wo)
 	od := out.Data()
 	bd := c.Bias.W.Data()
 	n := ho * wo
@@ -62,6 +71,31 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	c.lastCols, c.lastH, c.lastW, c.lastHo, c.lastWo = cols, h, w, ho, wo
 	return out.Reshape(c.OutC, ho, wo)
+}
+
+// Infer computes the convolution through the fused im2col-free kernel
+// into pooled storage, which the caller owns (release via pool.Put).
+// Results are bit-identical to Forward. Unlike Forward it touches no
+// activation caches, so concurrent Infer calls on a shared layer are safe;
+// it cannot be followed by Backward.
+func (c *Conv2D) Infer(x *tensor.Tensor, pool *tensor.Pool) *tensor.Tensor {
+	mustDims(x, 3, "Conv2D")
+	if x.Dim(0) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects %d input channels, got %d", c.InC, x.Dim(0)))
+	}
+	ho := tensor.ConvOutSize(x.Dim(1), c.Kernel, c.Stride, c.Pad)
+	wo := tensor.ConvOutSize(x.Dim(2), c.Kernel, c.Stride, c.Pad)
+	out := pool.GetTensor(c.OutC, ho, wo)
+	tensor.ConvInto(out, x, c.Weight.W, c.Bias.W, c.Stride, c.Pad)
+	return out
+}
+
+// weightMatrix returns the cached 2-D view of the weights.
+func (c *Conv2D) weightMatrix() *tensor.Tensor {
+	if c.wm == nil {
+		c.wm = c.Weight.W.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
+	}
+	return c.wm
 }
 
 // Backward accumulates weight/bias gradients and returns dL/dx.
@@ -88,8 +122,7 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	}
 
 	// dx = Col2Im(Wᵀ · dy)
-	wm := c.Weight.W.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
-	dcols := tensor.MatMulATB(wm, dym)
+	dcols := tensor.MatMulATB(c.weightMatrix(), dym)
 	return tensor.Col2Im(dcols, c.InC, c.lastH, c.lastW, c.Kernel, c.Stride, c.Pad)
 }
 

@@ -22,12 +22,13 @@ import (
 
 // SchemaVersion identifies the report layout; bump when fields change
 // incompatibly so old baselines fail loudly instead of comparing garbage.
-// v2 added per-stage ns/op (Entry.Stages). Reports back to
-// MinSchemaVersion still load — v2 only added fields — so an old committed
-// baseline keeps gating until it is regenerated; Compare reports a finding
-// when the candidate's schema is older than the baseline's.
+// v2 added per-stage ns/op (Entry.Stages); v3 added per-stage allocs/op
+// (Entry.StageAllocs) and the allocation gate. Reports back to
+// MinSchemaVersion still load — v2/v3 only added fields — so an old
+// committed baseline keeps gating until it is regenerated; Compare reports
+// a finding when the candidate's schema is older than the baseline's.
 const (
-	SchemaVersion    = 2
+	SchemaVersion    = 3
 	MinSchemaVersion = 1
 )
 
@@ -84,6 +85,13 @@ type Entry struct {
 	// stage_ms / total_ms. Comparing per-stage lets the gate localise a
 	// time regression to the stage that caused it.
 	Stages map[string]int64 `json:"stages_ns_per_op,omitempty"`
+
+	// StageAllocs (schema v3) apportions AllocsPerOp across pipeline
+	// stages by the same virtual-time shares, so an allocation regression
+	// is localised the same way a time regression is — the detect stage
+	// growing allocations fails even when the total stays inside the
+	// (wider) total-alloc tolerance.
+	StageAllocs map[string]int64 `json:"stages_allocs_per_op,omitempty"`
 }
 
 // Report is one full benchmark run.
@@ -104,12 +112,20 @@ func (r *Report) Add(name string, s Sample, metrics map[string]float64) {
 	r.Entries = append(r.Entries, Entry{Name: name, Sample: s, Metrics: metrics})
 }
 
-// SetStages attaches the per-stage ns/op breakdown to the named entry
-// (no-op if the entry does not exist). Kept separate from Add so callers
-// without stage attribution keep their call sites unchanged.
-func (r *Report) SetStages(name string, stages map[string]int64) {
-	if e := r.Entry(name); e != nil && len(stages) > 0 {
+// SetStages attaches the per-stage ns/op and allocs/op breakdowns to the
+// named entry (no-op if the entry does not exist; either map may be empty).
+// Kept separate from Add so callers without stage attribution keep their
+// call sites unchanged.
+func (r *Report) SetStages(name string, stages, stageAllocs map[string]int64) {
+	e := r.Entry(name)
+	if e == nil {
+		return
+	}
+	if len(stages) > 0 {
 		e.Stages = stages
+	}
+	if len(stageAllocs) > 0 {
+		e.StageAllocs = stageAllocs
 	}
 }
 
@@ -191,21 +207,32 @@ type CompareOptions struct {
 	// tolerance is deliberately wide — the accuracy gate is the tight one.
 	MaxTimeRegressPct float64
 
+	// MaxAllocRegressPct is the allowed allocs/op increase over baseline
+	// in percent (total and per stage); <= 0 means the default 10.
+	// Allocation counts are far less noisy than wall time on a fixed
+	// machine and Go version, so the tolerance is much tighter.
+	MaxAllocRegressPct float64
+
 	// AccuracyTol absorbs float formatting noise on guarded metrics;
 	// <= 0 means 1e-9 (the pipeline is bit-deterministic, so any real
 	// change is far larger).
 	AccuracyTol float64
 
-	// IgnoreTime disables the ns/op and per-stage time gates, leaving only
-	// the accuracy and coverage gates. This is how CI compares against a
-	// committed baseline measured on different hardware: wall time across
-	// machines is meaningless, accuracy must still reproduce exactly.
+	// IgnoreTime disables the ns/op, allocs/op and per-stage gates,
+	// leaving only the accuracy and coverage gates. This is how CI
+	// compares against a committed baseline measured on different
+	// hardware: wall time across machines is meaningless (and allocation
+	// counts shift with the Go runtime), accuracy must still reproduce
+	// exactly.
 	IgnoreTime bool
 }
 
 func (o CompareOptions) withDefaults() CompareOptions {
 	if o.MaxTimeRegressPct <= 0 {
 		o.MaxTimeRegressPct = 25
+	}
+	if o.MaxAllocRegressPct <= 0 {
+		o.MaxAllocRegressPct = 10
 	}
 	if o.AccuracyTol <= 0 {
 		o.AccuracyTol = 1e-9
@@ -216,7 +243,7 @@ func (o CompareOptions) withDefaults() CompareOptions {
 // Regression is one comparator finding.
 type Regression struct {
 	Entry  string
-	Kind   string // "time", "stage", "accuracy", "missing-entry", "missing-metric", "schema"
+	Kind   string // "time", "stage", "alloc", "accuracy", "missing-entry", "missing-metric", "schema"
 	Detail string
 }
 
@@ -270,6 +297,29 @@ func Compare(base, cand *Report, opts CompareOptions) []Regression {
 					regs = append(regs, Regression{Entry: be.Name, Kind: "stage",
 						Detail: fmt.Sprintf("stage %s ns/op %d -> %d (+%.1f%%, tolerance %.0f%%)",
 							k, bs, cs, 100*(float64(cs)/float64(bs)-1), opts.MaxTimeRegressPct)})
+				}
+			}
+		}
+		// Allocation gate (schema v3): allocs/op is near-deterministic on a
+		// fixed machine + Go version, so the tolerance is tight. Gated
+		// alongside time — cross-machine (IgnoreTime) comparisons skip it,
+		// as runtime internals shift allocation counts between Go versions.
+		if !opts.IgnoreTime && be.AllocsPerOp > 0 && ce.AllocsPerOp > 0 {
+			if float64(ce.AllocsPerOp) > float64(be.AllocsPerOp)*(1+opts.MaxAllocRegressPct/100) {
+				regs = append(regs, Regression{Entry: be.Name, Kind: "alloc",
+					Detail: fmt.Sprintf("allocs/op %d -> %d (+%.1f%%, tolerance %.0f%%)",
+						be.AllocsPerOp, ce.AllocsPerOp,
+						100*(float64(ce.AllocsPerOp)/float64(be.AllocsPerOp)-1), opts.MaxAllocRegressPct)})
+			}
+			for _, k := range sortedStageKeys(be.StageAllocs) {
+				bs, cs := be.StageAllocs[k], ce.StageAllocs[k]
+				if bs <= 0 || cs <= 0 {
+					continue
+				}
+				if float64(cs) > float64(bs)*(1+opts.MaxAllocRegressPct/100) {
+					regs = append(regs, Regression{Entry: be.Name, Kind: "alloc",
+						Detail: fmt.Sprintf("stage %s allocs/op %d -> %d (+%.1f%%, tolerance %.0f%%)",
+							k, bs, cs, 100*(float64(cs)/float64(bs)-1), opts.MaxAllocRegressPct)})
 				}
 			}
 		}

@@ -128,11 +128,11 @@ func TestCompareFlagsStageRegression(t *testing.T) {
 		return map[string]int64{"decode": 100, "detect": detect, "regress": 50}
 	}
 	base, cand := sampleReport(), sampleReport()
-	base.SetStages("table1", stages(500))
+	base.SetStages("table1", stages(500), nil)
 	// The total stays within tolerance while one stage blows past it:
 	// the gate localises the regression to the stage by name.
-	cand.Entries[0].NsPerOp = 1100        // +10% < 25% tolerance
-	cand.SetStages("table1", stages(900)) // +80% on detect
+	cand.Entries[0].NsPerOp = 1100             // +10% < 25% tolerance
+	cand.SetStages("table1", stages(900), nil) // +80% on detect
 	regs := Compare(base, cand, CompareOptions{})
 	if len(regs) != 1 || regs[0].Kind != "stage" || !strings.Contains(regs[0].Detail, "stage detect") {
 		t.Fatalf("regressions = %v", regs)
@@ -143,14 +143,58 @@ func TestCompareFlagsStageRegression(t *testing.T) {
 	}
 	// Identical stages are clean; a v1 baseline without stages never
 	// triggers the stage gate against a v2 candidate.
-	cand.SetStages("table1", stages(500))
+	cand.SetStages("table1", stages(500), nil)
 	if regs := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
 		t.Fatalf("identical stages flagged: %v", regs)
 	}
 	base.Entry("table1").Stages = nil
-	cand.SetStages("table1", stages(9999))
+	cand.SetStages("table1", stages(9999), nil)
 	if regs := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
 		t.Fatalf("stage gate fired without baseline stages: %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	cand.Entries[0].AllocsPerOp = 60 // +20% > default 10% tolerance
+	regs := Compare(base, cand, CompareOptions{})
+	if len(regs) != 1 || regs[0].Kind != "alloc" || regs[0].Entry != "table1" {
+		t.Fatalf("regressions = %v", regs)
+	}
+	// A wider tolerance passes the same delta; fewer allocations never
+	// regress; IgnoreTime (cross-machine) silences the gate entirely.
+	if regs := Compare(base, cand, CompareOptions{MaxAllocRegressPct: 50}); len(regs) != 0 {
+		t.Fatalf("50%% tolerance still flagged: %v", regs)
+	}
+	if regs := Compare(base, cand, CompareOptions{IgnoreTime: true}); len(regs) != 0 {
+		t.Fatalf("IgnoreTime still flagged allocs: %v", regs)
+	}
+	cand.Entries[0].AllocsPerOp = 5
+	if regs := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("alloc reduction flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsStageAllocRegression(t *testing.T) {
+	stages := func(detect int64) map[string]int64 {
+		return map[string]int64{"decode": 10, "detect": detect, "regress": 5}
+	}
+	base, cand := sampleReport(), sampleReport()
+	base.SetStages("table1", nil, stages(30))
+	// Total allocs stay inside the 10% tolerance while the detect stage
+	// alone doubles: the gate names the stage.
+	cand.Entries[0].AllocsPerOp = 52 // +4%
+	cand.SetStages("table1", nil, stages(60))
+	regs := Compare(base, cand, CompareOptions{})
+	if len(regs) != 1 || regs[0].Kind != "alloc" || !strings.Contains(regs[0].Detail, "stage detect") {
+		t.Fatalf("regressions = %v", regs)
+	}
+	// A baseline without per-stage allocs (schema v2 and older) never
+	// triggers the stage-alloc gate.
+	base.Entry("table1").StageAllocs = nil
+	cand.SetStages("table1", nil, stages(9999))
+	if regs := Compare(base, cand, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("stage-alloc gate fired without baseline stages: %v", regs)
 	}
 }
 

@@ -95,6 +95,10 @@ type Regressor struct {
 	fc       *nn.Dense
 
 	lastPooled []*tensor.Tensor
+
+	// scratch recycles branch activation buffers across Predict calls.
+	// Per-regressor (clones get their own), so workers never contend.
+	scratch *tensor.Pool
 }
 
 // New creates a regressor over rfcn.FeatureChannels-deep features with one
@@ -103,7 +107,7 @@ func New(rng *rand.Rand, kernels []int) *Regressor {
 	if len(kernels) == 0 {
 		kernels = DefaultKernels
 	}
-	r := &Regressor{Kernels: append([]int(nil), kernels...)}
+	r := &Regressor{Kernels: append([]int(nil), kernels...), scratch: tensor.NewPool()}
 	for _, k := range kernels {
 		conv := nn.NewConv2D(rng, rfcn.FeatureChannels, branchChannels, k, 1, -1)
 		// Slightly positive biases keep the ReLU branches alive through the
@@ -126,6 +130,7 @@ func (r *Regressor) Clone() *Regressor {
 	c := &Regressor{
 		Kernels: append([]int(nil), r.Kernels...),
 		fc:      r.fc.Clone(),
+		scratch: tensor.NewPool(),
 	}
 	for i := range r.branches {
 		c.branches = append(c.branches, r.branches[i].Clone())
@@ -147,6 +152,44 @@ func (r *Regressor) Forward(features *tensor.Tensor) float64 {
 	}
 	out := r.fc.Forward(concat)
 	return float64(out.At(0))
+}
+
+// Predict regresses t through the inference-only fast path: fused pooled
+// convolutions, in-place rectification and an inlined fully-connected
+// head. It is bit-identical to Forward, allocates nothing in steady
+// state, touches no activation caches (so it cannot be followed by
+// Backward) and is safe for concurrent use on clones.
+func (r *Regressor) Predict(features *tensor.Tensor) float64 {
+	var concat [3 * branchChannels]float32 // supports up to 3 branches
+	if len(r.branches) > len(concat)/branchChannels {
+		return r.Forward(features)
+	}
+	for i, branch := range r.branches {
+		v := branch.Infer(features, r.scratch)
+		d := v.Data()
+		// ReLU in place, then the global average — the same ascending
+		// summation order as GlobalAvgPool.Forward.
+		n := v.Dim(1) * v.Dim(2)
+		inv := 1 / float32(n)
+		for ch := 0; ch < branchChannels; ch++ {
+			var s float32
+			for _, x := range d[ch*n : (ch+1)*n] {
+				if x > 0 {
+					s += x
+				}
+			}
+			concat[i*branchChannels+ch] = s * inv
+		}
+		r.scratch.PutTensor(v)
+	}
+	// Inlined Dense head: y = W·concat + b, ascending-index accumulation
+	// exactly as the serial matmul kernel computes it.
+	wd := r.fc.Weight.W.Data()
+	var s float32
+	for p := 0; p < branchChannels*len(r.branches); p++ {
+		s += wd[p] * concat[p]
+	}
+	return float64(s + r.fc.Bias.W.Data()[0])
 }
 
 // Backward propagates the scalar loss gradient dt through the module,

@@ -44,6 +44,15 @@ const backboneSeed = 0x777
 // create one per goroutine via NewBackbone.
 type Backbone struct {
 	conv1, conv2, conv3 *nn.Conv2D
+
+	// pool recycles the feature-map buffers across Extract calls so
+	// steady-state serving allocates nothing here. Per-backbone (and the
+	// parallel runners clone per worker), so Get/Put never contend.
+	pool *tensor.Pool
+
+	// xhdr is the reusable header wrapping the input image for Extract
+	// (Backbone is single-goroutine by contract, so one suffices).
+	xhdr *tensor.Tensor
 }
 
 // featureGain rescales the final feature map so globally-pooled values land
@@ -57,6 +66,7 @@ func NewBackbone() *Backbone {
 		conv1: nn.NewConv2D(rng, 1, 8, 3, 2, 1),
 		conv2: nn.NewConv2D(rng, 8, backboneChannels, 3, 2, 1),
 		conv3: nn.NewConv2D(rng, backboneChannels, backboneChannels, 3, 2, 1),
+		pool:  tensor.NewPool(),
 	}
 	b.installEdgeFilters()
 	return b
@@ -90,20 +100,33 @@ func (b *Backbone) Clone() *Backbone {
 		conv1: b.conv1.Clone(),
 		conv2: b.conv2.Clone(),
 		conv3: b.conv3.Clone(),
+		pool:  tensor.NewPool(),
 	}
 }
 
 // Extract converts a rendered grayscale image to a backboneChannels×h×w
 // appearance feature map, where h ≈ H/8 and w ≈ W/8 of the input image.
 // Detector.Features stacks the detection-response planes on top.
+// The returned tensor is backed by the backbone's buffer pool: the caller
+// owns it and should hand it back via Recycle once done (keeping it
+// forever is safe, it just isn't recycled).
 func (b *Backbone) Extract(im *raster.Image) *tensor.Tensor {
-	x := tensor.FromSlice(append([]float32(nil), im.Pix...), 1, im.H, im.W)
-	x = abs(b.conv1.Forward(x))
-	x = abs(b.conv2.Forward(x))
-	x = abs(b.conv3.Forward(x))
-	x.ScaleInPlace(featureGain)
-	return x
+	// Wrapping im.Pix is safe: the convolutions only read their input and
+	// nothing below retains x.
+	x := tensor.FromSliceInto(b.xhdr, im.Pix, 1, im.H, im.W)
+	b.xhdr = x
+	t1 := abs(b.conv1.Infer(x, b.pool))
+	t2 := abs(b.conv2.Infer(t1, b.pool))
+	b.pool.PutTensor(t1)
+	t3 := abs(b.conv3.Infer(t2, b.pool))
+	b.pool.PutTensor(t2)
+	t3.ScaleInPlace(featureGain)
+	return t3
 }
+
+// Recycle returns a tensor obtained from Extract (or Detector.Features)
+// to the backbone's buffer pool. The tensor must not be used afterwards.
+func (b *Backbone) Recycle(t *tensor.Tensor) { b.pool.PutTensor(t) }
 
 // abs rectifies a tensor by magnitude in place and returns it.
 func abs(t *tensor.Tensor) *tensor.Tensor {

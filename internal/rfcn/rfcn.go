@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"adascale/internal/detect"
 	"adascale/internal/raster"
@@ -26,6 +27,61 @@ import (
 	"adascale/internal/synth"
 	"adascale/internal/tensor"
 )
+
+// rngScratch recycles *rand.Rand instances across Detect calls. Detect
+// draws from three deterministically re-seeded generators per frame (plus
+// two per object); allocating them fresh was a top-five allocation site.
+// Re-seeding a recycled generator reproduces exactly the sequence of
+// rand.New(rand.NewSource(seed)), so common random numbers are preserved.
+// A sync.Pool (not a Detector field) keeps Detect safe for concurrent use
+// on a shared detector, as documented on Clone.
+var rngScratch = sync.Pool{New: func() any { return rand.New(rand.NewSource(1)) }}
+
+// detScratch holds Detect's per-call candidate lists (pre-NMS detections,
+// their class-prob references, and the NMS survivors). All three are
+// re-sliced to length 0 before reuse and their contents copied out before
+// the scratch is pooled, so recycling is invisible to callers. Pooled
+// rather than Detector-owned for the same concurrency reason as rngScratch.
+type detScratch struct {
+	raw   []detect.Detection
+	probs [][]float64
+	kept  []detect.Detection
+}
+
+var detScratchPool = sync.Pool{New: func() any { return new(detScratch) }}
+
+func seededRng(seed int64) *rand.Rand {
+	r := rngScratch.Get().(*rand.Rand)
+	r.Seed(seed)
+	return r
+}
+
+// probArena hands out []float64 probability vectors carved at increasing
+// offsets from one backing buffer, collapsing the per-detection ClassProbs
+// allocations into at most one growth per Detect call. Handed-out vectors
+// are capacity-limited subslices and are never re-carved by the arena, so
+// retaining them in Result is safe for as long as the Result lives. The
+// buffer itself recycles through Result.Release: if a growth reallocates
+// mid-call, already-issued vectors keep aliasing the old buffer (which then
+// simply dies with the Result) and only the newest buffer is retained.
+type probArena struct {
+	buf []float64
+	off int
+}
+
+func (a *probArena) take(n int) []float64 {
+	if a.off+n > len(a.buf) {
+		grow := 2 * len(a.buf)
+		if grow < 64*n {
+			grow = 64 * n
+		}
+		a.buf = make([]float64, grow)
+		a.off = 0
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
 
 // Paper constants.
 const (
@@ -102,7 +158,10 @@ type Result struct {
 	Detections []RawDetection
 
 	// Features is the backbone's deep feature map at the tested scale;
-	// nil unless DetectWithFeatures was used.
+	// nil unless DetectWithFeatures was used. It is backed by the
+	// detector's buffer pool: hand it back via Detector.Recycle when done
+	// (steady-state serving then allocates nothing here); retaining it —
+	// as label generation does — is also safe, it just isn't recycled.
 	Features *tensor.Tensor
 
 	// RuntimeMS is the modelled detector runtime at this scale.
@@ -114,15 +173,51 @@ type Result struct {
 	// evidence the deep features genuinely contain and the scale regressor
 	// needs (features painting in features()).
 	proposals []detect.Box
+
+	// probBuf is the arena backing the Detections' ClassProbs vectors; it
+	// travels with the Result so Release can recycle it.
+	probBuf []float64
+}
+
+// resultPool recycles Result structs together with their detection,
+// proposal and class-prob storage. Detect draws from it and Release feeds
+// it; results that are never released are simply collected by the GC.
+var resultPool = sync.Pool{New: func() any { return new(Result) }}
+
+// Release returns the result's storage to the detector's pools. The result
+// and every slice obtained from it — Detections, ClassProbs — must not be
+// used afterwards (PlainDetections/AppendDetections copies are unaffected),
+// and a result must not be released twice. Features is NOT recycled here:
+// hand it to Detector.Recycle first. Hot eval loops release each frame's
+// result after copying out the survivors; callers that retain results
+// (label generation, serving traces) just skip the call.
+func (r *Result) Release() {
+	if r == nil {
+		return
+	}
+	for i := range r.Detections {
+		r.Detections[i].ClassProbs = nil
+	}
+	*r = Result{
+		Detections: r.Detections[:0],
+		proposals:  r.proposals[:0],
+		probBuf:    r.probBuf,
+	}
+	resultPool.Put(r)
 }
 
 // PlainDetections strips the raw detections to the evaluation type.
 func (r *Result) PlainDetections() []detect.Detection {
-	out := make([]detect.Detection, len(r.Detections))
+	return r.AppendDetections(make([]detect.Detection, 0, len(r.Detections)))
+}
+
+// AppendDetections appends the plain detections to dst and returns the
+// extended slice; the copies stay valid after the result is released.
+func (r *Result) AppendDetections(dst []detect.Detection) []detect.Detection {
 	for i := range r.Detections {
-		out[i] = r.Detections[i].Detection
+		dst = append(dst, r.Detections[i].Detection)
 	}
-	return out
+	return dst
 }
 
 // Detect runs the behavioural detector on frame f at the given test scale
@@ -135,21 +230,29 @@ func (d *Detector) Detect(f *synth.Frame, scale int) *Result {
 	factor := scaleToFactor(f, scale)
 	nClasses := len(d.Data.Classes)
 
-	var raw []detect.Detection
-	var proposals []detect.Box
-	probs := map[int][]float64{} // index in raw → class probs
+	// Candidate lists live only for the duration of this call (the output
+	// copies the survivors), so the backing arrays come from a pool and
+	// steady-state detection allocates only what the Result retains — and
+	// even that recycles when the caller hands the Result back via Release.
+	res := resultPool.Get().(*Result)
+	sc := detScratchPool.Get().(*detScratch)
+	raw := sc.raw[:0]     // candidate detections, pre-NMS
+	probs := sc.probs[:0] // index in raw → class probs
+	proposals := res.proposals[:0]
+	arena := probArena{buf: res.probBuf}
 
 	// True-positive candidates (plus near-duplicates for NMS to prune).
 	for gi, obj := range f.Objects {
-		rng := rand.New(rand.NewSource(f.Seed() ^ int64(obj.ID+1)*0x5DEECE66D))
+		rng := seededRng(f.Seed() ^ int64(obj.ID+1)*0x5DEECE66D)
 		uFrame := rng.Float64()
 		uMix := rng.Float64()
 		// Detection outcomes are temporally correlated: on most frames the
 		// draw is the track-level one (a hard object stays missed across
 		// the snippet); occasionally it re-rolls. The mixture keeps the
 		// marginal distribution exactly uniform.
-		trackRng := rand.New(rand.NewSource(f.TrackSeed() ^ int64(obj.ID+1)*0x5DEECE66D))
+		trackRng := seededRng(f.TrackSeed() ^ int64(obj.ID+1)*0x5DEECE66D)
 		uDet := trackRng.Float64()
+		rngScratch.Put(trackRng)
 		if uMix >= 0.6 {
 			uDet = uFrame
 		}
@@ -158,6 +261,7 @@ func (d *Detector) Detect(f *synth.Frame, scale int) *Result {
 		z := [4]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
 		uPart1, uPart2 := rng.Float64(), rng.Float64()
 		dupJitter := [2]float64{rng.NormFloat64(), rng.NormFloat64()}
+		rngScratch.Put(rng)
 
 		p := d.Data.Classes[obj.Class]
 		q := d.quality(obj, p, f, factor)
@@ -204,12 +308,12 @@ func (d *Detector) Detect(f *synth.Frame, scale int) *Result {
 			box = obj.Box
 		}
 		raw = append(raw, detect.Detection{Box: box, Class: class, Score: score, GTIndex: gi})
-		probs[len(raw)-1] = classProbs(nClasses, class, score)
+		probs = append(probs, classProbs(&arena, nClasses, class, score))
 
 		// A weaker duplicate proposal that NMS should suppress.
 		dup := box.Shifted(dupJitter[0]*errStd*1.5, dupJitter[1]*errStd*1.5)
 		raw = append(raw, detect.Detection{Box: dup, Class: class, Score: score * 0.8, GTIndex: gi})
-		probs[len(raw)-1] = classProbs(nClasses, class, score*0.8)
+		probs = append(probs, classProbs(&arena, nClasses, class, score*0.8))
 
 		// Detail-driven part false positives: at high resolution, textured
 		// parts of a large object are detected as spurious objects
@@ -228,7 +332,7 @@ func (d *Detector) Detect(f *synth.Frame, scale int) *Result {
 			pClass := (obj.Class + 3 + pi) % nClasses
 			pScore := clamp01(0.15 + 0.35*frac(u*29))
 			raw = append(raw, detect.Detection{Box: pBox, Class: pClass, Score: pScore, GTIndex: -1})
-			probs[len(raw)-1] = classProbs(nClasses, pClass, pScore)
+			probs = append(probs, classProbs(&arena, nClasses, pClass, pScore))
 		}
 	}
 
@@ -238,7 +342,7 @@ func (d *Detector) Detect(f *synth.Frame, scale int) *Result {
 	// activate extra spurious responses.
 	fpIntensity := 0.4 * f.Clutter * fpTrainingFactor(d.TrainScales) *
 		math.Pow(float64(scale)/600.0, 1.2) * f.Fault.FPFactor()
-	frng := rand.New(rand.NewSource(f.Seed() ^ 0x4FD1EB))
+	frng := seededRng(f.Seed() ^ 0x4FD1EB)
 	const nCandidates = 28
 	for j := 0; j < nCandidates; j++ {
 		tau := (float64(j) + frng.Float64()) / nCandidates
@@ -263,22 +367,38 @@ func (d *Detector) Detect(f *synth.Frame, scale int) *Result {
 			score += 0.3 // occasional confident false positive
 		}
 		raw = append(raw, detect.Detection{Box: box, Class: class, Score: score, GTIndex: -1})
-		probs[len(raw)-1] = classProbs(nClasses, class, score)
+		probs = append(probs, classProbs(&arena, nClasses, class, score))
 	}
+	rngScratch.Put(frng)
 
-	kept := detect.NMS(raw, NMSThreshold, TopK)
-	out := make([]RawDetection, len(kept))
-	for i, k := range kept {
-		out[i] = RawDetection{Detection: k, ClassProbs: matchProbs(raw, probs, k)}
+	kept := detect.NMSAppend(sc.kept[:0], raw, NMSThreshold, TopK)
+	out := res.Detections[:0]
+	for _, k := range kept {
+		out = append(out, RawDetection{Detection: k, ClassProbs: matchProbs(raw, probs, k)})
 	}
-	return &Result{
+	// The prob vectors escape into out's ClassProbs (carved from the
+	// result's arena buffer); drop the scratch container's references
+	// before pooling it so the pool never pins a retired buffer.
+	for i := range probs {
+		probs[i] = nil
+	}
+	sc.raw, sc.probs, sc.kept = raw[:0], probs[:0], kept[:0]
+	detScratchPool.Put(sc)
+	*res = Result{
 		Frame:      f,
 		Scale:      scale,
 		Detections: out,
 		RuntimeMS:  simclock.DetectMS(f.W, f.H, scale),
 		proposals:  proposals,
+		probBuf:    arena.buf,
 	}
+	return res
 }
+
+// Recycle returns a feature map obtained from DetectWithFeatures or
+// Features to the detector's buffer pool. The tensor must not be used
+// afterwards.
+func (d *Detector) Recycle(t *tensor.Tensor) { d.backbone.Recycle(t) }
 
 // DetectWithFeatures runs Detect and additionally rasterises the frame at
 // the test scale and extracts deep features through the frozen backbone,
@@ -306,8 +426,10 @@ func (d *Detector) features(f *synth.Frame, scale int, r *Result) *tensor.Tensor
 	im := f.Render(renderShort, MaxLongSide*d.Data.RenderDiv, d.Data.RenderDiv)
 	app := d.backbone.Extract(im)
 	h, w := app.Dim(1), app.Dim(2)
-	out := tensor.New(FeatureChannels, h, w)
-	copy(out.Data(), app.Data())
+	out := d.backbone.pool.GetTensor(FeatureChannels, h, w)
+	copy(out.Data()[:backboneChannels*h*w], app.Data())
+	clear(out.Data()[backboneChannels*h*w:])
+	d.backbone.Recycle(app)
 
 	// Paint the detection-response planes. Boxes are converted from native
 	// coordinates to feature-map cells (render factor / backbone stride);
@@ -419,8 +541,8 @@ func scaleToFactor(f *synth.Frame, scale int) float64 {
 // classProbs builds a classifier probability vector: index 0 is background,
 // index 1+c is class c. The predicted class receives the score mass; the
 // remainder splits between background and the other classes.
-func classProbs(nClasses, class int, score float64) []float64 {
-	probs := make([]float64, nClasses+1)
+func classProbs(arena *probArena, nClasses, class int, score float64) []float64 {
+	probs := arena.take(nClasses + 1)
 	rest := 1 - score
 	probs[0] = rest * 0.6
 	other := rest * 0.4 / float64(nClasses-1)
@@ -436,7 +558,7 @@ func classProbs(nClasses, class int, score float64) []float64 {
 
 // matchProbs finds the probability vector of the raw detection that
 // survived NMS (NMS copies values, so match on content).
-func matchProbs(raw []detect.Detection, probs map[int][]float64, k detect.Detection) []float64 {
+func matchProbs(raw []detect.Detection, probs [][]float64, k detect.Detection) []float64 {
 	for i, r := range raw {
 		if r.Box == k.Box && r.Class == k.Class && r.Score == k.Score {
 			return probs[i]

@@ -173,7 +173,9 @@ func (l *eventLoop) start(i int) {
 			r := w.det.DetectWithFeatures(frame, scale)
 			detWall := tr.SinceMS(ref)
 			ref = tr.Now()
-			t := w.reg.Forward(r.Features)
+			t := w.reg.Predict(r.Features)
+			w.det.Recycle(r.Features)
+			r.Features = nil
 			res <- computeResult{r: r, t: t, detWallMS: detWall, regWallMS: tr.SinceMS(ref)}
 		})
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"adascale/internal/detect"
 	"adascale/internal/parallel"
@@ -53,6 +54,14 @@ type Frame struct {
 	// senses nothing, a stale frame senses an old scene. nil means Objects
 	// is the truth. Evaluation always scores against the truth.
 	Truth []Object
+
+	// gts caches the GroundTruth conversion; gtsFor witnesses the object
+	// slice it was computed from (first element's address + length), so a
+	// wholesale replacement of Objects/Truth invalidates the cache and
+	// GroundTruth falls back to computing fresh. In-place mutation of an
+	// Object's fields is not detected — replace the slice instead.
+	gts    []detect.GroundTruth
+	gtsFor *Object
 }
 
 // TrackSeed returns a seed shared by every frame of the snippet. The
@@ -69,16 +78,37 @@ func (f *Frame) Seed() int64 { return f.seed }
 // GroundTruth converts the frame's real objects to evaluation ground
 // truth: the Truth override when a fault made the sensed content diverge
 // from the scene, the sensed Objects otherwise.
+// The result is cached at generation time (the eval loop asks for it once
+// per frame per method); callers must treat it as read-only.
 func (f *Frame) GroundTruth() []detect.GroundTruth {
 	objs := f.Objects
 	if f.Truth != nil {
 		objs = f.Truth
+	}
+	if len(objs) == 0 {
+		return nil
+	}
+	if f.gts != nil && f.gtsFor == &objs[0] && len(f.gts) == len(objs) {
+		return f.gts
 	}
 	gts := make([]detect.GroundTruth, len(objs))
 	for i, o := range objs {
 		gts[i] = detect.GroundTruth{Box: o.Box, Class: o.Class}
 	}
 	return gts
+}
+
+// cacheGroundTruth fills the GroundTruth cache. Called once per frame at
+// generation time, before the frame is shared across goroutines.
+func (f *Frame) cacheGroundTruth() {
+	f.gts, f.gtsFor = nil, nil
+	if gts := f.GroundTruth(); len(gts) > 0 {
+		objs := f.Objects
+		if f.Truth != nil {
+			objs = f.Truth
+		}
+		f.gts, f.gtsFor = gts, &objs[0]
+	}
 }
 
 // Snippet is a short video: a sequence of temporally-consistent frames.
@@ -319,6 +349,7 @@ func genSnippet(cfg *Config, rng *rand.Rand, id, primaryClass int) Snippet {
 			tr.sizeNative = clampF(tr.sizeNative*tr.growth, 0.04*short, 0.92*short)
 		}
 		fr.Blur = maxSpeed * 0.35
+		fr.cacheGroundTruth()
 		sn.Frames = append(sn.Frames, fr)
 	}
 	return sn
@@ -351,7 +382,12 @@ func (f *Frame) Render(renderShort, maxLongNative, renderDiv int) *raster.Image 
 		rh = 1
 	}
 	im := raster.New(rw, rh)
-	rng := rand.New(rand.NewSource(f.seed))
+	// Seeding a pooled generator reproduces rand.New(rand.NewSource(seed))
+	// exactly (Seed resets the source and the generator's read state), so
+	// renders stay bit-identical while the per-frame Rand+source
+	// allocations disappear from the decode stage.
+	rng := renderRng.Get().(*rand.Rand)
+	rng.Seed(f.seed)
 
 	// Dropped/blacked-out frames carry no scene content: a black image
 	// (with residual sensor noise for a blackout) is what the feature
@@ -361,6 +397,7 @@ func (f *Frame) Render(renderShort, maxLongNative, renderDiv int) *raster.Image 
 			im.AddNoise(rng, 0.01)
 			im.Clamp()
 		}
+		renderRng.Put(rng)
 		return im
 	}
 
@@ -387,9 +424,13 @@ func (f *Frame) Render(renderShort, maxLongNative, renderDiv int) *raster.Image 
 		period := math.Max(2, b.W()/7)
 		im.DrawEllipse(b.X1, b.Y1, b.X2, b.Y2, o.Texture, o.Intensity, period)
 	}
-	// Motion blur and sensor noise.
+	// Motion blur and sensor noise. An unblurred frame is finished in
+	// place — BoxBlur(0) would clone the raster just to return it.
 	blur := int(math.Round(f.Blur * factor))
-	out := im.BoxBlur(blur)
+	out := im
+	if blur > 0 {
+		out = im.BoxBlur(blur)
+	}
 	noise := 0.015
 	if f.Fault != nil {
 		switch f.Fault.Kind {
@@ -405,8 +446,14 @@ func (f *Frame) Render(renderShort, maxLongNative, renderDiv int) *raster.Image 
 	}
 	out.AddNoise(rng, noise)
 	out.Clamp()
+	renderRng.Put(rng)
 	return out
 }
+
+// renderRng pools the per-render random generator. Render fully re-seeds
+// the generator before any draw, so a recycled instance produces the same
+// stream as a freshly constructed one.
+var renderRng = sync.Pool{New: func() any { return rand.New(rand.NewSource(1)) }}
 
 func clampF(v, lo, hi float64) float64 {
 	if v < lo {

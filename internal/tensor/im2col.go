@@ -37,30 +37,51 @@ func Im2ColInto(dst, x *Tensor, kernel, stride, pad int) {
 	}
 	xd, dd := x.data, dst.data
 	cols := ho * wo
+	// The in-bounds ox range for a given kx (ix = ox·stride − pad + kx in
+	// [0, w)) does not depend on oy; precomputing it turns the interior of
+	// each output row into a branch-free span — a straight copy when
+	// stride is 1 — with zero fills only at the edges.
+	ox0s := make([]int, kernel)
+	ox1s := make([]int, kernel)
+	for kx := 0; kx < kernel; kx++ {
+		ox0 := 0
+		if d := pad - kx; d > 0 {
+			ox0 = (d + stride - 1) / stride
+		}
+		ox1 := 0
+		if t := w - 1 + pad - kx; t >= 0 {
+			ox1 = t/stride + 1
+			if ox1 > wo {
+				ox1 = wo
+			}
+		}
+		if ox0 > ox1 {
+			ox0 = ox1
+		}
+		ox0s[kx], ox1s[kx] = ox0, ox1
+	}
 	for ch := 0; ch < c; ch++ {
 		plane := xd[ch*h*w : (ch+1)*h*w]
 		for ky := 0; ky < kernel; ky++ {
 			for kx := 0; kx < kernel; kx++ {
 				row := dd[((ch*kernel+ky)*kernel+kx)*cols : ((ch*kernel+ky)*kernel+kx+1)*cols]
-				idx := 0
+				ox0, ox1 := ox0s[kx], ox1s[kx]
 				for oy := 0; oy < ho; oy++ {
 					iy := oy*stride - pad + ky
+					seg := row[oy*wo : oy*wo+wo]
 					if iy < 0 || iy >= h {
-						for ox := 0; ox < wo; ox++ {
-							row[idx] = 0
-							idx++
-						}
+						clear(seg)
 						continue
 					}
-					base := iy * w
-					for ox := 0; ox < wo; ox++ {
-						ix := ox*stride - pad + kx
-						if ix < 0 || ix >= w {
-							row[idx] = 0
-						} else {
-							row[idx] = plane[base+ix]
+					clear(seg[:ox0])
+					clear(seg[ox1:])
+					if stride == 1 {
+						copy(seg[ox0:ox1], plane[iy*w+ox0+kx-pad:iy*w+ox1+kx-pad])
+					} else {
+						base := iy*w + kx - pad
+						for ox := ox0; ox < ox1; ox++ {
+							seg[ox] = plane[base+ox*stride]
 						}
-						idx++
 					}
 				}
 			}

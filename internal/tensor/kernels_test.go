@@ -1,0 +1,221 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adascale/internal/parallel"
+)
+
+// The packed matmul and fused conv are only allowed to land because they
+// are bit-identical to the serial reference kernels — the conformance
+// goldens replay byte-for-byte at workers {1,4}. These property tests pin
+// that contract across odd shapes (1×1, tall/skinny, tiles that don't
+// divide by the 4×4 micro-kernel) and worker counts.
+
+func randTensorWithZeros(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	d := t.Data()
+	for i := range d {
+		// Mix in exact zeros and negatives: zeros exercise the serial
+		// kernel's zero-skip, whose removal must stay value-neutral.
+		switch rng.Intn(5) {
+		case 0:
+			d[i] = 0
+		default:
+			d[i] = float32(rng.NormFloat64())
+		}
+	}
+	return t
+}
+
+func bitsEqual(t *testing.T, name string, got, want *Tensor) {
+	t.Helper()
+	gd, wd := got.Data(), want.Data()
+	if len(gd) != len(wd) {
+		t.Fatalf("%s: length %d, want %d", name, len(gd), len(wd))
+	}
+	for i := range gd {
+		if math.Float32bits(gd[i]) != math.Float32bits(wd[i]) {
+			t.Fatalf("%s: element %d = %v (bits %08x), want %v (bits %08x)",
+				name, i, gd[i], math.Float32bits(gd[i]), wd[i], math.Float32bits(wd[i]))
+		}
+	}
+}
+
+func TestPackedMatMulBitIdentical(t *testing.T) {
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1},      // degenerate
+		{4, 4, 4},      // one exact micro-tile
+		{37, 3, 5},     // tall/skinny, nothing divides by 4
+		{3, 129, 7},    // fewer rows than the micro-tile
+		{6, 10, 6},     // partial tiles on both edges
+		{5, 64, 130},   // wide with a 2-column remainder panel
+		{64, 72, 96},   // above packThreshold: MatMul dispatches packed
+		{65, 72, 97},   // above threshold with edge tiles in both dims
+		{128, 9, 1920}, // backbone conv1-like shape
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, s := range shapes {
+		a := randTensorWithZeros(rng, s.m, s.k)
+		b := randTensorWithZeros(rng, s.k, s.n)
+
+		// Serial reference: the historical kernel, no dispatch.
+		want := New(s.m, s.n)
+		matMulRows(want, a, b, 0, s.m)
+
+		// Packed kernel invoked directly, regardless of threshold.
+		if s.m >= packMR && s.n >= packNR {
+			got := New(s.m, s.n)
+			matMulPacked(got, a, b)
+			bitsEqual(t, "packed", got, want)
+		}
+
+		// Public dispatch at workers 1 and 4 (covers both the packed and
+		// serial routes depending on size — all must agree bitwise).
+		for _, workers := range []int{1, 4} {
+			parallel.SetWorkers(workers)
+			got := MatMul(a, b)
+			parallel.SetWorkers(0)
+			bitsEqual(t, "MatMul", got, want)
+		}
+	}
+}
+
+func TestMatMulIntoVariantsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randTensorWithZeros(rng, 9, 13)
+	b := randTensorWithZeros(rng, 9, 11) // for ATB: Aᵀ(13×9)·B(9×11)
+	c := randTensorWithZeros(rng, 5, 13) // for ABT: a(9×13)·cᵀ(13×5)
+
+	atb := New(13, 11)
+	MatMulATBInto(atb, a, b)
+	bitsEqual(t, "MatMulATBInto", atb, MatMulATB(a, b))
+
+	abt := New(9, 5)
+	MatMulABTInto(abt, a, c)
+	bitsEqual(t, "MatMulABTInto", abt, MatMulABT(a, c))
+}
+
+// convReference is the historical im2col + matmul + bias path.
+func convReference(x, weight, bias *Tensor, stride, pad int) *Tensor {
+	outC, cin, kernel := weight.Dim(0), weight.Dim(1), weight.Dim(2)
+	ho := ConvOutSize(x.Dim(1), kernel, stride, pad)
+	wo := ConvOutSize(x.Dim(2), kernel, stride, pad)
+	cols := Im2Col(x, kernel, stride, pad)
+	wm := weight.Reshape(outC, cin*kernel*kernel)
+	out := New(outC, ho*wo)
+	matMulRows(out, wm, cols, 0, outC) // serial reference kernel
+	od := out.Data()
+	bd := bias.Data()
+	n := ho * wo
+	for co := 0; co < outC; co++ {
+		bv := bd[co]
+		row := od[co*n : (co+1)*n]
+		for i := range row {
+			row[i] += bv
+		}
+	}
+	return out.Reshape(outC, ho, wo)
+}
+
+func TestFusedConvBitIdentical(t *testing.T) {
+	cases := []struct {
+		cin, h, w, outC, kernel, stride, pad int
+	}{
+		{1, 7, 9, 3, 3, 1, 1},   // same-pad 3×3
+		{1, 16, 24, 8, 3, 2, 1}, // backbone conv1 shape family
+		{8, 9, 15, 12, 3, 1, 1}, // backbone conv2 family
+		{2, 5, 5, 4, 1, 1, 0},   // 1×1 kernel
+		{3, 8, 8, 2, 3, 2, 0},   // stride 2, no pad
+		{2, 6, 7, 3, 5, 1, 2},   // kernel larger than pad span
+		{2, 4, 4, 3, 3, 3, 1},   // stride larger than kernel-1
+		{1, 3, 3, 2, 3, 1, 2},   // padding wider than the input edge
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, c := range cases {
+		x := randTensorWithZeros(rng, c.cin, c.h, c.w)
+		weight := randTensorWithZeros(rng, c.outC, c.cin, c.kernel, c.kernel)
+		bias := randTensorWithZeros(rng, c.outC)
+		want := convReference(x, weight, bias, c.stride, c.pad)
+
+		for _, workers := range []int{1, 4} {
+			parallel.SetWorkers(workers)
+			got := Conv(x, weight, bias, c.stride, c.pad)
+			parallel.SetWorkers(0)
+			bitsEqual(t, "Conv", got, want)
+		}
+
+		// Pooled destination with stale contents must be fully overwritten.
+		pool := NewPool()
+		dirty := pool.GetTensor(c.outC, want.Dim(1), want.Dim(2))
+		for i := range dirty.Data() {
+			dirty.Data()[i] = float32(math.NaN())
+		}
+		ConvInto(dirty, x, weight, bias, c.stride, c.pad)
+		bitsEqual(t, "ConvInto pooled", dirty, want)
+		pool.PutTensor(dirty)
+	}
+}
+
+func TestConvNilBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randTensorWithZeros(rng, 2, 6, 6)
+	weight := randTensorWithZeros(rng, 3, 2, 3, 3)
+	zero := New(3)
+	want := convReference(x, weight, zero, 1, 1)
+	got := Conv(x, weight, nil, 1, 1)
+	bitsEqual(t, "Conv nil bias", got, want)
+}
+
+func TestIm2ColFastPathMatchesReference(t *testing.T) {
+	cases := []struct {
+		c, h, w, kernel, stride, pad int
+	}{
+		{1, 5, 5, 3, 1, 1},
+		{3, 8, 11, 3, 2, 1},
+		{2, 4, 4, 1, 1, 0},
+		{2, 6, 9, 5, 1, 2},
+		{1, 3, 3, 3, 1, 3}, // pad wider than the input
+		{2, 7, 5, 3, 3, 1},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range cases {
+		x := randTensorWithZeros(rng, c.c, c.h, c.w)
+		ho := ConvOutSize(c.h, c.kernel, c.stride, c.pad)
+		wo := ConvOutSize(c.w, c.kernel, c.stride, c.pad)
+
+		// Reference: definitional gather, one element at a time.
+		want := New(c.c*c.kernel*c.kernel, ho*wo)
+		wd := want.Data()
+		xd := x.Data()
+		for ch := 0; ch < c.c; ch++ {
+			for ky := 0; ky < c.kernel; ky++ {
+				for kx := 0; kx < c.kernel; kx++ {
+					p := (ch*c.kernel+ky)*c.kernel + kx
+					for oy := 0; oy < ho; oy++ {
+						for ox := 0; ox < wo; ox++ {
+							iy := oy*c.stride - c.pad + ky
+							ix := ox*c.stride - c.pad + kx
+							var v float32
+							if iy >= 0 && iy < c.h && ix >= 0 && ix < c.w {
+								v = xd[(ch*c.h+iy)*c.w+ix]
+							}
+							wd[p*ho*wo+oy*wo+ox] = v
+						}
+					}
+				}
+			}
+		}
+
+		got := Im2Col(x, c.kernel, c.stride, c.pad)
+		bitsEqual(t, "Im2Col", got, want)
+
+		// Into with stale destination contents.
+		dirty := New(c.c*c.kernel*c.kernel, ho*wo)
+		dirty.Fill(float32(math.Inf(1)))
+		Im2ColInto(dirty, x, c.kernel, c.stride, c.pad)
+		bitsEqual(t, "Im2ColInto stale", dirty, want)
+	}
+}

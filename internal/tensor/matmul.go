@@ -59,6 +59,12 @@ func MatMulInto(dst, a, b *Tensor) {
 	if k != k2 || dst.Dim(0) != m || dst.Dim(1) != n {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v · %v -> %v", a.shape, b.shape, dst.shape))
 	}
+	if usePacked(m, k, n) {
+		// Large products take the packed cache-blocked kernel; bit-identical
+		// to the serial path below (see matmul_packed.go).
+		matMulPacked(dst, a, b)
+		return
+	}
 	if chunks := rowChunks(m, int64(m)*int64(k)*int64(n)); chunks > 0 {
 		forEachRowChunk(chunks, m, func(i0, i1 int) { matMulRows(dst, a, b, i0, i1) })
 		return
@@ -94,18 +100,28 @@ func MatMulATB(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic("tensor: MatMulATB requires 2-D tensors")
 	}
+	c := New(a.Dim(1), b.Dim(1))
+	MatMulATBInto(c, a, b)
+	return c
+}
+
+// MatMulATBInto computes dst = Aᵀ·B, reusing dst's storage (m×n,
+// overwritten). Output values are identical to MatMulATB.
+func MatMulATBInto(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic("tensor: MatMulATB requires 2-D tensors")
+	}
 	k, m := a.Dim(0), a.Dim(1)
 	k2, n := b.Dim(0), b.Dim(1)
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch %v vs %v", a.shape, b.shape))
+	if k != k2 || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch %v vs %v -> %v", a.shape, b.shape, dst.shape))
 	}
-	c := New(m, n)
+	clear(dst.data)
 	if chunks := rowChunks(m, int64(m)*int64(k)*int64(n)); chunks > 0 {
-		forEachRowChunk(chunks, m, func(i0, i1 int) { matMulATBRows(c, a, b, i0, i1) })
-		return c
+		forEachRowChunk(chunks, m, func(i0, i1 int) { matMulATBRows(dst, a, b, i0, i1) })
+		return
 	}
-	matMulATBRows(c, a, b, 0, m)
-	return c
+	matMulATBRows(dst, a, b, 0, m)
 }
 
 // matMulATBRows computes output rows [i0, i1) of C = Aᵀ·B. The p (inner
@@ -136,18 +152,27 @@ func MatMulABT(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic("tensor: MatMulABT requires 2-D tensors")
 	}
+	c := New(a.Dim(0), b.Dim(0))
+	MatMulABTInto(c, a, b)
+	return c
+}
+
+// MatMulABTInto computes dst = A·Bᵀ, reusing dst's storage (m×n,
+// overwritten). Output values are identical to MatMulABT.
+func MatMulABTInto(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic("tensor: MatMulABT requires 2-D tensors")
+	}
 	m, k := a.Dim(0), a.Dim(1)
 	n, k2 := b.Dim(0), b.Dim(1)
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch %v vs %v", a.shape, b.shape))
+	if k != k2 || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch %v vs %v -> %v", a.shape, b.shape, dst.shape))
 	}
-	c := New(m, n)
 	if chunks := rowChunks(m, int64(m)*int64(k)*int64(n)); chunks > 0 {
-		forEachRowChunk(chunks, m, func(i0, i1 int) { matMulABTRows(c, a, b, i0, i1) })
-		return c
+		forEachRowChunk(chunks, m, func(i0, i1 int) { matMulABTRows(dst, a, b, i0, i1) })
+		return
 	}
-	matMulABTRows(c, a, b, 0, m)
-	return c
+	matMulABTRows(dst, a, b, 0, m)
 }
 
 // matMulABTRows computes rows [i0, i1) of C = A·Bᵀ as plain dot products.

@@ -1,0 +1,214 @@
+package tensor
+
+// Packed, cache-blocked matmul — the raw-speed path behind MatMulInto for
+// products large enough to pay for packing. The kernel follows the classic
+// Goto scheme scaled down to the backbone's shapes (small m, small k, wide
+// n):
+//
+//   - B is packed once into column-panels of width nr=4: panel j holds
+//     b[p][j..j+3] contiguously for ascending p, so the micro-kernel
+//     streams it linearly instead of striding across B's rows.
+//   - A is packed into row-panels of height mr=4: panel i holds
+//     a[i..i+3][p] interleaved by p, one contiguous load per step.
+//   - The 4×4 micro-kernel keeps all 16 partial sums of a C tile in
+//     registers for the whole k loop, so each C element is written exactly
+//     once and B is read once per 4 output rows instead of once per row.
+//
+// Bit-identity argument (DESIGN.md §4g): every dst element is still the
+// float32 sum of a[i][p]*b[p][j] accumulated in ascending-p order — the
+// same per-element operation order as the serial kernel — so the packed
+// result is bit-identical to the serial one for all finite inputs, for any
+// worker count and any tile split. (The serial kernel's skip of zero
+// a-values is also value-neutral: partial sums never equal -0 because they
+// start at +0 and x+(±0) == x for every float32 x that is not -0, so
+// adding the skipped ±0 products cannot change any sum.)
+//
+// Parallelism fans the mr-row bands out over the worker pool; each band's
+// elements are computed by exactly one worker in the same order as the
+// serial packed kernel, so results are byte-identical across worker
+// counts — the invariant the conformance goldens replay at workers {1,4}.
+
+const (
+	// packMR × packNR is the register micro-tile. 4×4 keeps the 16
+	// float32 accumulators within the 16 vector registers of amd64.
+	packMR = 4
+	packNR = 4
+
+	// packThreshold is the multiply-add count above which packing pays for
+	// itself (one extra pass over A and B each). The backbone convolutions
+	// sit two orders of magnitude above it; the regressor's tiny dense
+	// products stay on the serial kernel.
+	packThreshold = 1 << 17
+)
+
+// kernelScratch recycles the pack buffers across matmul calls from any
+// goroutine (workers contend only on the brief Get/Put critical section).
+var kernelScratch = NewPool()
+
+// usePacked reports whether the packed path handles an m×k · k×n product.
+func usePacked(m, k, n int) bool {
+	return int64(m)*int64(k)*int64(n) >= packThreshold && m >= packMR && n >= packNR && k > 0
+}
+
+// matMulPacked computes dst = A·B with packing and register blocking.
+// dst is fully overwritten.
+func matMulPacked(dst, a, b *Tensor) {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+
+	packedB := kernelScratch.Get(k * n)
+	packB(packedB, b.data, k, n)
+	packedA := kernelScratch.Get(m * k)
+	packA(packedA, a.data, m, k)
+
+	bands := (m + packMR - 1) / packMR
+	chunks := rowChunks(bands, int64(m)*int64(k)*int64(n))
+	if chunks > 0 {
+		forEachRowChunk(chunks, bands, func(b0, b1 int) {
+			matMulPackedBands(dst.data, packedA, packedB, m, k, n, b0, b1)
+		})
+	} else {
+		matMulPackedBands(dst.data, packedA, packedB, m, k, n, 0, bands)
+	}
+
+	kernelScratch.Put(packedA)
+	kernelScratch.Put(packedB)
+}
+
+// packB lays B (k×n row-major) out as ceil(n/4) column-panels, each k×4,
+// padded with zeros past column n so the micro-kernel needs no edge case
+// in its inner loop (the padded products land in scratch accumulators that
+// are simply never stored).
+func packB(dstBuf, bd []float32, k, n int) {
+	full := n &^ (packNR - 1)
+	for j := 0; j < full; j += packNR {
+		panel := dstBuf[j*k : j*k+k*packNR]
+		for p := 0; p < k; p++ {
+			row := bd[p*n+j : p*n+j+packNR]
+			q := p * packNR
+			panel[q] = row[0]
+			panel[q+1] = row[1]
+			panel[q+2] = row[2]
+			panel[q+3] = row[3]
+		}
+	}
+	if rem := n - full; rem > 0 {
+		panel := dstBuf[full*k : full*k+k*rem]
+		for p := 0; p < k; p++ {
+			copy(panel[p*rem:p*rem+rem], bd[p*n+full:p*n+n])
+		}
+	}
+}
+
+// packA interleaves A (m×k row-major) into ceil(m/4) row-panels: panel i
+// stores a[i..i+3][p] contiguously for each ascending p. The last partial
+// panel is stored row-major (handled by the edge kernel).
+func packA(dstBuf, ad []float32, m, k int) {
+	full := m &^ (packMR - 1)
+	for i := 0; i < full; i += packMR {
+		panel := dstBuf[i*k : i*k+k*packMR]
+		r0 := ad[i*k : i*k+k]
+		r1 := ad[(i+1)*k : (i+1)*k+k]
+		r2 := ad[(i+2)*k : (i+2)*k+k]
+		r3 := ad[(i+3)*k : (i+3)*k+k]
+		for p := 0; p < k; p++ {
+			q := p * packMR
+			panel[q] = r0[p]
+			panel[q+1] = r1[p]
+			panel[q+2] = r2[p]
+			panel[q+3] = r3[p]
+		}
+	}
+	if full < m {
+		copy(dstBuf[full*k:m*k], ad[full*k:m*k])
+	}
+}
+
+// matMulPackedBands computes the mr-row bands [b0, b1) of dst.
+func matMulPackedBands(cd, packedA, packedB []float32, m, k, n, b0, b1 int) {
+	fullN := n &^ (packNR - 1)
+	for band := b0; band < b1; band++ {
+		i := band * packMR
+		rows := m - i
+		if rows >= packMR {
+			ap := packedA[i*k : i*k+k*packMR]
+			for j := 0; j < fullN; j += packNR {
+				micro4x4(cd, packedB[j*k:j*k+k*packNR], ap, i, j, k, n)
+			}
+			if rem := n - fullN; rem > 0 {
+				microEdge(cd, packedB[fullN*k:fullN*k+k*rem], packedA[i*k:m*k], i, fullN, k, n, packMR, rem, true)
+			}
+		} else {
+			// Last partial band: packedA holds these rows row-major.
+			ap := packedA[i*k : m*k]
+			for j := 0; j < fullN; j += packNR {
+				microEdge(cd, packedB[j*k:j*k+k*packNR], ap, i, j, k, n, rows, packNR, false)
+			}
+			if rem := n - fullN; rem > 0 {
+				microEdge(cd, packedB[fullN*k:fullN*k+k*rem], ap, i, fullN, k, n, rows, rem, false)
+			}
+		}
+	}
+}
+
+// micro4x4 computes the 4×4 tile of C at (i, j): sixteen register
+// accumulators over the full k loop, one contiguous load from each panel
+// per step. bp is the k×4 B panel, ap the 4×k interleaved A panel.
+func micro4x4(cd, bp, ap []float32, i, j, k, n int) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	for p := 0; p < k; p++ {
+		q := p * 4
+		b0, b1, b2, b3 := bp[q], bp[q+1], bp[q+2], bp[q+3]
+		a0, a1, a2, a3 := ap[q], ap[q+1], ap[q+2], ap[q+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	row := cd[i*n+j:]
+	row[0], row[1], row[2], row[3] = c00, c01, c02, c03
+	row = cd[(i+1)*n+j:]
+	row[0], row[1], row[2], row[3] = c10, c11, c12, c13
+	row = cd[(i+2)*n+j:]
+	row[0], row[1], row[2], row[3] = c20, c21, c22, c23
+	row = cd[(i+3)*n+j:]
+	row[0], row[1], row[2], row[3] = c30, c31, c32, c33
+}
+
+// microEdge handles partial tiles (rows < 4 and/or cols < 4). bp is a
+// k×cols B panel; ap is either the 4×k interleaved panel (interleaved
+// true) or rows×k row-major. Accumulation stays ascending-p per element.
+func microEdge(cd, bp, ap []float32, i, j, k, n, rows, cols int, interleaved bool) {
+	for r := 0; r < rows; r++ {
+		crow := cd[(i+r)*n+j : (i+r)*n+j+cols]
+		for c := 0; c < cols; c++ {
+			var s float32
+			if interleaved {
+				for p := 0; p < k; p++ {
+					s += ap[p*packMR+r] * bp[p*cols+c]
+				}
+			} else {
+				arow := ap[r*k : r*k+k]
+				for p := 0; p < k; p++ {
+					s += arow[p] * bp[p*cols+c]
+				}
+			}
+			crow[c] = s
+		}
+	}
+}

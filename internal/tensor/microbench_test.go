@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the hot-path kernels, run informationally in CI via
+// `make microbench`. Shapes mirror the backbone's real workloads at the
+// 600-height operating point.
+
+func benchMatMul(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, m, k)
+	y := randTensor(rng, k, n)
+	dst := New(m, n)
+	b.SetBytes(int64(m*k+k*n+m*n) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMatMulSmall(b *testing.B)     { benchMatMul(b, 16, 16, 16) }
+func BenchmarkMatMulConv1(b *testing.B)     { benchMatMul(b, 8, 9, 144000) }  // conv1 @600
+func BenchmarkMatMulConv2(b *testing.B)     { benchMatMul(b, 12, 72, 36000) } // conv2 @600
+func BenchmarkMatMulMidSquare(b *testing.B) { benchMatMul(b, 96, 96, 96) }
+
+func BenchmarkMatMulPackedVsSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 12, 72)
+	y := randTensor(rng, 72, 36000)
+	dst := New(12, 36000)
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			matMulPacked(dst, x, y)
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			matMulRows(dst, x, y, 0, 12)
+		}
+	})
+}
+
+func BenchmarkIm2Col600(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randTensor(rng, 8, 300, 480)
+	dst := New(8*9, 300*480)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2ColInto(dst, x, 3, 1, 1)
+	}
+}
+
+func benchConv(b *testing.B, cin, h, w, outC, kernel, stride, pad int) {
+	rng := rand.New(rand.NewSource(3))
+	x := randTensor(rng, cin, h, w)
+	weight := randTensor(rng, outC, cin, kernel, kernel)
+	bias := randTensor(rng, outC)
+	ho := ConvOutSize(h, kernel, stride, pad)
+	wo := ConvOutSize(w, kernel, stride, pad)
+	dst := New(outC, ho, wo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvInto(dst, x, weight, bias, stride, pad)
+	}
+}
+
+func BenchmarkConvFused1(b *testing.B) { benchConv(b, 1, 600, 960, 8, 3, 2, 1) }  // backbone conv1
+func BenchmarkConvFused2(b *testing.B) { benchConv(b, 8, 300, 480, 12, 3, 1, 1) } // backbone conv2
+
+func BenchmarkConvIm2ColPath(b *testing.B) {
+	// The historical lowering, for the before/after comparison in README.
+	rng := rand.New(rand.NewSource(3))
+	x := randTensor(rng, 8, 300, 480)
+	weight := randTensor(rng, 12, 8, 3, 3)
+	wm := weight.Reshape(12, 72)
+	cols := New(72, 300*480)
+	out := New(12, 300*480)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2ColInto(cols, x, 3, 1, 1)
+		MatMulInto(out, wm, cols)
+	}
+}
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	p := NewPool()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.Get(1 << 16)
+		p.Put(buf)
+	}
+}

@@ -45,6 +45,26 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 	return &Tensor{shape: append([]int(nil), shape...), data: data}
 }
 
+// FromSliceInto is FromSlice reusing a caller-owned header: it re-points t
+// at data (not copied) with the given shape, recycling t's shape storage,
+// and returns t. A nil t allocates a fresh tensor — so a struct-field
+// header wired through FromSliceInto makes repeated wrapping allocation-free.
+func FromSliceInto(t *Tensor, data []float32, shape ...int) *Tensor {
+	if t == nil {
+		return FromSlice(data, shape...)
+	}
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	t.shape = append(t.shape[:0], shape...)
+	t.data = data
+	return t
+}
+
 // Full returns a tensor with every element set to v.
 func Full(v float32, shape ...int) *Tensor {
 	t := New(shape...)

@@ -3,9 +3,11 @@
 # regression. A regression is a ns/op increase beyond the tolerance
 # (default 25%, trailing argument) on the total OR on any single pipeline
 # stage (schema v2 localises time regressions to decode/rescale/detect/
-# regress/seqnms), or ANY decrease of a guarded accuracy metric
-# ("map"-prefixed keys); entries or guarded metrics present in the
-# baseline but missing from the candidate also fail (lost coverage).
+# regress/seqnms), an allocs/op increase beyond 10% on the total or any
+# stage (schema v3 apportions allocations the same way), or ANY decrease
+# of a guarded accuracy metric ("map"-prefixed keys); entries or guarded
+# metrics present in the baseline but missing from the candidate also
+# fail (lost coverage).
 #
 # Usage:
 #   scripts/benchdiff.sh [-accuracy-only] baseline.json candidate.json [max-time-regress-pct]
@@ -21,7 +23,9 @@
 #
 # -selftest validates the gate itself: it synthesises a candidate whose
 # total ns/op is within tolerance but whose detect stage grew 80%, and
-# asserts the diff flags exactly that stage.
+# asserts the diff flags exactly that stage; then a candidate whose total
+# allocs/op is within tolerance but whose detect stage doubled its
+# allocations, and asserts the alloc gate flags that stage too.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -53,7 +57,25 @@ EOF
 		cat "$tmp/err" >&2
 		exit 1
 	fi
-	echo "benchdiff selftest: OK — single-stage regression localised to its stage"
+	# Allocation gate (schema v3): total allocs within the 10% tolerance,
+	# detect-stage allocations doubled — must fail and name the stage.
+	cat >"$tmp/abase.json" <<EOF
+{"schema":3,"machine":$machine,"entries":[{"name":"selftest","ns_per_op":1000,"allocs_per_op":1000,"iters":1,"metrics":{"map/selftest":0.5},"stages_ns_per_op":{"decode":100,"detect":500,"regress":50},"stages_allocs_per_op":{"decode":100,"detect":500,"regress":50}}]}
+EOF
+	cat >"$tmp/acand.json" <<EOF
+{"schema":3,"machine":$machine,"entries":[{"name":"selftest","ns_per_op":1000,"allocs_per_op":1050,"iters":1,"metrics":{"map/selftest":0.5},"stages_ns_per_op":{"decode":100,"detect":500,"regress":50},"stages_allocs_per_op":{"decode":100,"detect":1000,"regress":50}}]}
+EOF
+	go run ./cmd/adascale-bench -diff "$tmp/abase.json" -diff-to "$tmp/abase.json" >/dev/null
+	if go run ./cmd/adascale-bench -diff "$tmp/abase.json" -diff-to "$tmp/acand.json" >/dev/null 2>"$tmp/aerr"; then
+		echo "benchdiff selftest: alloc regression NOT flagged" >&2
+		exit 1
+	fi
+	if ! grep -q "alloc regression: stage detect" "$tmp/aerr"; then
+		echo "benchdiff selftest: alloc regression not localised to the detect stage; got:" >&2
+		cat "$tmp/aerr" >&2
+		exit 1
+	fi
+	echo "benchdiff selftest: OK — stage time and stage alloc regressions localised"
 	exit 0
 fi
 
