@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench microbench fuzz-smoke serve-smoke benchdiff golden
+.PHONY: check ci fmt vet build test race bench microbench fuzz-smoke serve-smoke chaos-smoke benchdiff golden
 
-check: fmt vet build race fuzz-smoke serve-smoke benchdiff
+check: fmt vet build race fuzz-smoke serve-smoke chaos-smoke benchdiff
 
 # CI entry point: the same gates as `check` but fail-slow — every gate
 # runs even after a failure so one push reports all breakage at once,
@@ -62,6 +62,13 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) run -race ./cmd/adascale-serve -streams 4 -frames 50 -rate 5 \
 		-slo-ms 0 -tick-ms 0 -train 8 -val 4 -workers 4 -seed 5 -smoke
+
+# Fault-tolerance gate: a seeded chaos run (worker kills/stalls, node
+# blackout, queue saturation) under -race, twice — once at default
+# parallelism, once at GOMAXPROCS=1 — asserting zero lost streams/frames
+# and byte-identical output across the two runs.
+chaos-smoke:
+	./scripts/chaos-smoke.sh
 
 # Benchmark-report gates: the diff tool must localise a synthetic
 # single-stage regression (its own self-validation), and the committed

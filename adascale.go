@@ -333,6 +333,52 @@ func GenLoad(snippets []Snippet, cfg LoadConfig) ([]ServeStream, error) {
 // NewServeMetrics creates an empty serving metrics registry.
 func NewServeMetrics() *ServeMetrics { return serve.NewMetrics() }
 
+// System fault tolerance: deterministic chaos plans for the serving layer
+// and the supervision machinery that survives them.
+type (
+	// SystemPlan is a seeded, sorted schedule of system fault events in
+	// virtual time (ServeConfig.Chaos injects it into a serving run).
+	SystemPlan = faults.SystemPlan
+	// SystemEvent is one scheduled system fault.
+	SystemEvent = faults.SystemEvent
+	// SystemEventKind enumerates worker kill, worker stall, node blackout
+	// and queue saturation.
+	SystemEventKind = faults.SystemEventKind
+	// SystemConfig parameterises chaos plan generation.
+	SystemConfig = faults.SystemConfig
+	// SupervisorConfig tunes the serving layer's recovery machinery:
+	// retry with exponential backoff and deterministic jitter, per-stream
+	// circuit breakers that shed to propagation-only while open, the
+	// watchdog that reassigns stalled dispatches, and worker rebuild time.
+	SupervisorConfig = serve.SupervisorConfig
+	// ServeConfigError is the typed validation error ServeConfig reports,
+	// naming the offending field.
+	ServeConfigError = serve.ConfigError
+	// ResilientSession runs the degradation ladder over one ordered frame
+	// stream with checkpoint/restore support for stream migration.
+	ResilientSession = adascale.ResilientSession
+	// SessionCheckpoint is a self-contained snapshot of a session's
+	// recovery-relevant state; Restore replays it into a fresh session on
+	// another node byte-identically.
+	SessionCheckpoint = adascale.SessionCheckpoint
+)
+
+// GenSystemPlan builds the deterministic system fault schedule for the
+// config: same seed and config give the identical plan on any machine.
+func GenSystemPlan(cfg SystemConfig) (*SystemPlan, error) { return faults.GenSystemPlan(cfg) }
+
+// ScaledSystemConfig returns the standard mixed chaos condition at the
+// given intensity (rate 0 = no events, 1 = moderate, 2 = doubled), the
+// knob the chaos sweep and adascale-serve -chaos drive.
+func ScaledSystemConfig(rate float64, seed int64, horizonMS float64, workers int) SystemConfig {
+	return faults.ScaledSystemConfig(rate, seed, horizonMS, workers)
+}
+
+// NewResilientSession creates a degradation-ladder session over a stream.
+func NewResilientSession(kernels []int, cfg ResilientConfig) *ResilientSession {
+	return adascale.NewResilientSession(kernels, cfg)
+}
+
 // Video-acceleration baselines.
 type (
 	// DFFConfig parameterises Deep Feature Flow.

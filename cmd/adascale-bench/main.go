@@ -14,12 +14,16 @@
 //	adascale-bench -diff baseline.json -diff-to candidate.json [-accuracy-only]
 //
 // Experiments: table1, table2, table3, fig5, fig6, fig7, fig9, fig10,
-// qualitative, robustness, serving. The robustness sweep injects the
+// qualitative, robustness, serving, chaos. The robustness sweep injects the
 // -faults rates into the validation split and compares fixed-scale, naive
 // AdaScale and the resilient runner (optionally deadline-constrained via
 // -deadline-ms). The serving sweep loads the multi-stream server at
-// increasing stream counts against latency SLOs. The master -seed pins the
-// dataset and every derived fault/load stream (see internal/cli).
+// increasing stream counts against latency SLOs. The chaos sweep injects
+// seeded system fault plans (worker kills/stalls, node blackouts, queue
+// saturation) at increasing intensity and compares the supervised serving
+// layer against naive failover on recovery time, SLO damage and effective
+// coverage. The master -seed pins the dataset and every derived fault/load
+// stream (see internal/cli).
 //
 // -json measures every selected experiment (warmup + timed iterations, see
 // internal/regress.Measure) and writes a machine-readable report: ns/op,
@@ -178,6 +182,19 @@ func experimentRuns(b *experiments.Bundle, rates []float64, deadlineMS float64) 
 				"map/serving_last":       last.MAP,
 				"p99_ms/serving_last":    last.P99,
 				"drop_rate/serving_last": last.DropRate,
+			})
+		}},
+		{"chaos", func() (experiments.Printer, map[string]float64, error) {
+			res, err := b.Chaos(experiments.DefaultChaosConfig())
+			if err != nil {
+				return nil, nil, err
+			}
+			worst := res.Rows[len(res.Rows)-1]
+			return ok(res, map[string]float64{
+				"coverage/supervised_worst":    worst.Supervised.Coverage,
+				"coverage/naive_worst":         worst.Naive.Coverage,
+				"recovery_ms/supervised_worst": worst.Supervised.RecoveryMS,
+				"lost/supervised_worst":        float64(worst.Supervised.Lost),
 			})
 		}},
 	}

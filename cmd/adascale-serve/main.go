@@ -10,15 +10,27 @@
 //	adascale-serve [-streams 8] [-workers 4] [-slo-ms 50] [-queue 8] \
 //	               [-max-streams 0] [-rate 30] [-frames 60] [-tick-ms 500] \
 //	               [-dataset vid|ytbb] [-train 12] [-val 8] [-seed 5] \
-//	               [-faults 0] [-smoke] \
+//	               [-faults 0] [-chaos 0] [-chaos-seed 0] [-smoke] \
 //	               [-trace trace.txt] [-trace-wall] [-pprof localhost:6060]
 //
-// The master -seed drives the dataset, the fault injection and the
-// arrival schedules; for a fixed flag set the served outputs and every
-// printed metric snapshot are byte-identical across runs and machines
-// (timings go to stderr). -smoke exits non-zero unless the run served
-// every offered frame with no drops and produced a non-empty snapshot —
-// the repo's serve-smoke gate.
+// -chaos <rate> injects a seeded *system* fault plan on top of the load:
+// worker kills and stalls (Poisson at the given intensity), node
+// blackouts and queue-saturation windows, all on the virtual clock, with
+// the supervision layer (retry + backoff, circuit breakers, watchdog,
+// stream migration) recovering. The plan seed derives from the master
+// -seed unless -chaos-seed pins it directly. Chaos runs force an explicit
+// worker count (default 4 when -workers is 0), since the plan targets
+// worker indices.
+//
+// The master -seed drives the dataset, the fault injection, the arrival
+// schedules and the chaos plan; for a fixed flag set the served outputs
+// and every printed metric snapshot are byte-identical across runs and
+// machines (timings go to stderr). -smoke exits non-zero unless the run
+// served every offered frame with no drops and produced a non-empty
+// snapshot — the repo's serve-smoke gate. Under -chaos, the smoke gate
+// instead asserts zero *lost* streams and frames (drops are expected
+// inside saturation windows): every stream keeps serving, and
+// offered = served + dropped exactly.
 package main
 
 import (
@@ -45,7 +57,9 @@ func main() {
 	frames := flag.Int("frames", 60, "frames offered per stream")
 	tickMS := flag.Float64("tick-ms", 500, "virtual ms between metric snapshots (0 = final only)")
 	faultRate := flag.Float64("faults", 0, "per-frame fault rate injected into the stream content")
-	smoke := flag.Bool("smoke", false, "gate mode: exit non-zero on any drop or an empty snapshot")
+	chaosRate := flag.Float64("chaos", 0, "system fault intensity: worker kills/stalls, blackouts, queue saturation (0 = off)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "chaos plan seed (0 = derive from -seed)")
+	smoke := flag.Bool("smoke", false, "gate mode: exit non-zero on any drop (or, under -chaos, any lost stream/frame) or an empty snapshot")
 	flag.Parse()
 	common.Apply("adascale-serve")
 
@@ -93,6 +107,32 @@ func main() {
 		TickMS:     *tickMS,
 		Tracer:     common.Tracer(),
 	}
+	if *chaosRate > 0 {
+		if cfg.Workers <= 0 {
+			// The plan targets worker indices; GOMAXPROCS-derived capacity
+			// would make the chaos schedule machine-dependent.
+			cfg.Workers = 4
+			fmt.Println("chaos: forcing -workers 4 (plans need an explicit worker count)")
+		}
+		seed := *chaosSeed
+		if seed == 0 {
+			seed = common.ChaosSeed()
+		}
+		horizon := 0.0
+		for _, st := range load {
+			for _, f := range st.Frames {
+				if f.ArrivalMS > horizon {
+					horizon = f.ArrivalMS
+				}
+			}
+		}
+		plan, err := faults.GenSystemPlan(faults.ScaledSystemConfig(*chaosRate, seed, horizon+500, cfg.Workers))
+		if err != nil {
+			fail(err)
+		}
+		cfg.Chaos = plan
+		fmt.Printf("chaos: %s\n", plan)
+	}
 	if *tickMS > 0 {
 		cfg.OnTick = func(simMS float64, m *serve.Metrics) {
 			fmt.Printf("--- t=%.0fms served=%d dropped=%d p99=%.1fms ---\n",
@@ -122,13 +162,27 @@ func main() {
 		if snapshot == "" {
 			fail(fmt.Errorf("smoke: empty metrics snapshot"))
 		}
-		if n := rep.TotalDropped(); n != 0 {
-			fail(fmt.Errorf("smoke: %d frames dropped at an unloaded rate", n))
+		if *chaosRate > 0 {
+			// Chaos gate: drops are legitimate (saturation windows collapse
+			// the queues), lost streams or frames never are.
+			if n := rep.Lost(); n != 0 {
+				fail(fmt.Errorf("smoke: %d frames lost (neither served nor dropped)", n))
+			}
+			for _, sr := range rep.Streams {
+				if len(sr.Outputs) == 0 {
+					fail(fmt.Errorf("smoke: stream %d lost to the fault plan (served nothing)", sr.ID))
+				}
+			}
+			fmt.Println("chaos smoke: OK")
+		} else {
+			if n := rep.TotalDropped(); n != 0 {
+				fail(fmt.Errorf("smoke: %d frames dropped at an unloaded rate", n))
+			}
+			if served := rep.Metrics.Counter("frames/served"); served != int64(*streams**frames) {
+				fail(fmt.Errorf("smoke: served %d frames, want %d", served, *streams**frames))
+			}
+			fmt.Println("serve smoke: OK")
 		}
-		if served := rep.Metrics.Counter("frames/served"); served != int64(*streams**frames) {
-			fail(fmt.Errorf("smoke: served %d frames, want %d", served, *streams**frames))
-		}
-		fmt.Println("serve smoke: OK")
 	}
 
 	common.WriteTrace("adascale-serve")

@@ -283,6 +283,67 @@ func (s *ResilientSession) traceStep(o FrameOutput, detWallMS, regWallMS float64
 // detector frames (the serving layer adds it to modelled service time).
 func (s *ResilientSession) Overhead() float64 { return s.overhead }
 
+// SessionCheckpoint is the complete externalised ladder state of a
+// ResilientSession: everything the next frame's Plan/Finish depend on. A
+// checkpoint taken after frame k, restored into a fresh session, makes
+// that session serve frame k+1 onward exactly as the original would have —
+// the property that lets the serving supervisor migrate a stream to a new
+// session (a stand-in for a healthy node) after a node failure without
+// losing scale-ladder state or the last-good detections it propagates.
+// The trace clock is deliberately not part of the checkpoint: spans belong
+// to whoever is recording them, not to the stream.
+type SessionCheckpoint struct {
+	// TargetScale, ScaleCap and LastGoodScale are the scale-ladder state
+	// (the next frame's target, the deadline-enforcement cap, and the last
+	// scale that produced detections).
+	TargetScale, ScaleCap, LastGoodScale int
+
+	// LastDets are the detections the propagation rungs re-emit.
+	LastDets []detect.Detection
+
+	// Propagated and DegradedRun are the consecutive-propagation and
+	// frames-to-recover counters.
+	Propagated, DegradedRun int
+
+	// BudgetCharges is the rolling deadline-budget window, oldest first.
+	BudgetCharges []float64
+}
+
+// Checkpoint captures the session's ladder state. The returned checkpoint
+// is independent of the session: mutating the session afterwards does not
+// alter it.
+func (s *ResilientSession) Checkpoint() SessionCheckpoint {
+	return SessionCheckpoint{
+		TargetScale:   s.targetScale,
+		ScaleCap:      s.scaleCap,
+		LastGoodScale: s.lastGoodScale,
+		LastDets:      append([]detect.Detection(nil), s.lastDets...),
+		Propagated:    s.propagated,
+		DegradedRun:   s.degradedRun,
+		BudgetCharges: s.budget.Charges(),
+	}
+}
+
+// Restore replaces the session's ladder state with the checkpoint's,
+// resetting everything first so a partially-advanced session cannot leak
+// state past the restore. The checkpoint is not retained: restoring the
+// same checkpoint into two sessions gives two independent streams.
+func (s *ResilientSession) Restore(cp SessionCheckpoint) {
+	s.reset()
+	s.targetScale = cp.TargetScale
+	s.scaleCap = cp.ScaleCap
+	s.lastGoodScale = cp.LastGoodScale
+	s.lastDets = append([]detect.Detection(nil), cp.LastDets...)
+	if len(s.lastDets) == 0 {
+		s.lastDets = nil
+	}
+	s.propagated = cp.Propagated
+	s.degradedRun = cp.DegradedRun
+	for _, c := range cp.BudgetCharges {
+		s.budget.Charge(c)
+	}
+}
+
 // FramePlan is the scheduling decision for one frame: the scale to test at
 // and whether the detector pass is skipped (rung 1: sensor-observable
 // fault). The serving layer uses it to cost the frame before dispatching

@@ -316,3 +316,83 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+// TestSessionCheckpointRoundTrip is the stream-migration contract: a
+// checkpoint taken after frame k, restored into a fresh session, must
+// serve frames k+1..n exactly as the uninterrupted original — scales,
+// detections, health accounting and deadline-cap decisions all equal —
+// on a faulted stream under a tight deadline (so every ladder rung and
+// the budget window are live state at the cut point).
+func TestSessionCheckpointRoundTrip(t *testing.T) {
+	ds, sys := system(t)
+	snips := faulted(t, ds, 0.3, 17)
+	cfg := DefaultResilientConfig()
+	cfg.DeadlineMS = 60
+
+	for _, cut := range []int{1, 4, 9} {
+		orig := NewResilientSession(sys.Regressor.Kernels, cfg)
+		frames := snips[0].Frames
+		if cut >= len(frames)-1 {
+			t.Fatalf("cut %d leaves no frames to compare (snippet has %d)", cut, len(frames))
+		}
+		for i := 0; i <= cut; i++ {
+			orig.Step(sys.Detector, sys.Regressor, &frames[i])
+		}
+		cp := orig.Checkpoint()
+		migrated := NewResilientSession(sys.Regressor.Kernels, cfg)
+		migrated.Restore(cp)
+
+		for i := cut + 1; i < len(frames); i++ {
+			w := orig.Step(sys.Detector, sys.Regressor, &frames[i])
+			g := migrated.Step(sys.Detector, sys.Regressor, &frames[i])
+			if w.Scale != g.Scale || w.Health != g.Health || w.DetectorMS != g.DetectorMS {
+				t.Fatalf("cut %d frame %d: migrated (scale %d, health %+v), original (scale %d, health %+v)",
+					cut, i, g.Scale, g.Health, w.Scale, w.Health)
+			}
+			if len(w.Detections) != len(g.Detections) {
+				t.Fatalf("cut %d frame %d: %d detections, original %d", cut, i, len(g.Detections), len(w.Detections))
+			}
+			for k := range w.Detections {
+				if w.Detections[k] != g.Detections[k] {
+					t.Fatalf("cut %d frame %d det %d diverges after restore", cut, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionCheckpointIndependence: the checkpoint deep-copies its state
+// — mutating the session after Checkpoint (or restoring the same
+// checkpoint twice) must not alias detections or budget state.
+func TestSessionCheckpointIndependence(t *testing.T) {
+	ds, sys := system(t)
+	cfg := DefaultResilientConfig()
+	s := NewResilientSession(sys.Regressor.Kernels, cfg)
+	frames := ds.Val[0].Frames
+	for i := 0; i < 4; i++ {
+		s.Step(sys.Detector, sys.Regressor, &frames[i])
+	}
+	cp := s.Checkpoint()
+	if len(cp.LastDets) == 0 {
+		t.Fatal("checkpoint captured no last-good detections; the aliasing check needs some")
+	}
+	want := cp.LastDets[0]
+
+	// Drive the original on; the checkpoint must not move.
+	for i := 4; i < len(frames); i++ {
+		s.Step(sys.Detector, sys.Regressor, &frames[i])
+	}
+	if cp.LastDets[0] != want {
+		t.Fatal("checkpoint detections aliased the live session")
+	}
+
+	// Two sessions restored from one checkpoint evolve independently.
+	a := NewResilientSession(sys.Regressor.Kernels, cfg)
+	b := NewResilientSession(sys.Regressor.Kernels, cfg)
+	a.Restore(cp)
+	b.Restore(cp)
+	a.Step(sys.Detector, sys.Regressor, &frames[4])
+	if got := b.Checkpoint().LastDets[0]; got != want {
+		t.Fatal("stepping one restored session mutated the other's state")
+	}
+}

@@ -132,6 +132,11 @@ func (c Common) FaultSeed() int64 { return mix(c.Seed, 0xFA17) }
 // independent of both the dataset and the fault stream.
 func (c Common) LoadSeed() int64 { return mix(c.Seed, 0x10AD) }
 
+// ChaosSeed derives the system fault plan's seed (worker kills, stalls,
+// blackouts — faults.GenSystemPlan) from the master seed, independent of
+// the dataset, frame-fault and load streams.
+func (c Common) ChaosSeed() int64 { return mix(c.Seed, 0xC405) }
+
 // mix is a splitmix64-style finaliser over (seed, stream tag).
 func mix(seed int64, tag uint64) int64 {
 	z := uint64(seed)*0x9E3779B97F4A7C15 + tag

@@ -32,11 +32,17 @@ func TestDerivedSeedsIndependent(t *testing.T) {
 	if a.FaultSeed() == a.Seed || a.LoadSeed() == a.Seed {
 		t.Fatal("derived seed equals the master seed")
 	}
+	if a.ChaosSeed() != (Common{Seed: 5}).ChaosSeed() {
+		t.Fatal("ChaosSeed not deterministic")
+	}
+	if a.ChaosSeed() == a.FaultSeed() || a.ChaosSeed() == a.LoadSeed() || a.ChaosSeed() == a.Seed {
+		t.Fatal("chaos stream shares a seed with another stream")
+	}
 	b := Common{Seed: 6}
-	if a.FaultSeed() == b.FaultSeed() || a.LoadSeed() == b.LoadSeed() {
+	if a.FaultSeed() == b.FaultSeed() || a.LoadSeed() == b.LoadSeed() || a.ChaosSeed() == b.ChaosSeed() {
 		t.Fatal("derived seeds insensitive to the master seed")
 	}
-	if a.FaultSeed() < 0 || a.LoadSeed() < 0 {
+	if a.FaultSeed() < 0 || a.LoadSeed() < 0 || a.ChaosSeed() < 0 {
 		t.Fatal("derived seed negative")
 	}
 }

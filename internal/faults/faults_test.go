@@ -182,3 +182,124 @@ func TestFaultResponseHelpers(t *testing.T) {
 		t.Fatal("Mixed must preserve the total rate")
 	}
 }
+
+// TestGenSystemPlanDeterministicAndSorted pins the chaos-plan generator:
+// the same config produces the identical schedule, a different seed moves
+// it, events are sorted by (AtMS, Kind, Worker), every event stays inside
+// the horizon with a valid target and sane durations.
+func TestGenSystemPlanDeterministicAndSorted(t *testing.T) {
+	cfg := SystemConfig{
+		Seed: 9, HorizonMS: 3000, Workers: 4,
+		KillsPerSec: 2, StallsPerSec: 1.5, Blackouts: 2, Saturations: 2,
+	}
+	a, err := GenSystemPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenSystemPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("plan is empty at a 2/sec kill rate over 3 virtual seconds")
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("plans differ in size across identical configs: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d diverges across identical configs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+
+	counts := a.Count()
+	if counts[SysNodeBlackout] != 2 || counts[SysQueueSaturate] != 2 {
+		t.Fatalf("window counts %v, want 2 blackouts and 2 saturations", counts)
+	}
+	for i, e := range a.Events {
+		if e.AtMS < 0 || e.AtMS >= cfg.HorizonMS {
+			t.Fatalf("event %d at %vms escapes the horizon [0, %v)", i, e.AtMS, cfg.HorizonMS)
+		}
+		switch e.Kind {
+		case SysWorkerKill:
+			if e.Worker < 0 || e.Worker >= cfg.Workers || e.DurationMS != 0 {
+				t.Fatalf("kill event %d malformed: %+v", i, e)
+			}
+		case SysWorkerStall:
+			if e.Worker < 0 || e.Worker >= cfg.Workers || e.DurationMS <= 0 {
+				t.Fatalf("stall event %d malformed: %+v", i, e)
+			}
+		case SysNodeBlackout, SysQueueSaturate:
+			if e.Worker != -1 || e.DurationMS <= 0 {
+				t.Fatalf("window event %d malformed: %+v", i, e)
+			}
+		}
+		if i > 0 {
+			p := a.Events[i-1]
+			if e.AtMS < p.AtMS || (e.AtMS == p.AtMS && (e.Kind < p.Kind || (e.Kind == p.Kind && e.Worker < p.Worker))) {
+				t.Fatalf("events %d and %d out of (AtMS, Kind, Worker) order", i-1, i)
+			}
+		}
+	}
+
+	moved := cfg
+	moved.Seed = 10
+	c, err := GenSystemPlan(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Events) == len(c.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 9 and 10 produced the identical plan")
+	}
+}
+
+// TestScaledSystemConfig pins the chaos-sweep knob: rate 0 produces no
+// events, higher rates scale the Poisson intensities, and the generated
+// plan validates against its own worker space.
+func TestScaledSystemConfig(t *testing.T) {
+	zero, err := GenSystemPlan(ScaledSystemConfig(0, 5, 2000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zero.Events) != 0 {
+		t.Fatalf("rate 0 generated %d events", len(zero.Events))
+	}
+	low, err := GenSystemPlan(ScaledSystemConfig(1, 5, 20000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := GenSystemPlan(ScaledSystemConfig(4, 5, 20000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, hc := low.Count(), high.Count()
+	if hc[SysWorkerKill] <= lc[SysWorkerKill] {
+		t.Fatalf("rate 4 produced %d kills, rate 1 produced %d — intensity is not scaling", hc[SysWorkerKill], lc[SysWorkerKill])
+	}
+}
+
+// TestGenSystemPlanValidation rejects nonsense configs.
+func TestGenSystemPlanValidation(t *testing.T) {
+	bad := []SystemConfig{
+		{HorizonMS: 0, Workers: 1},
+		{HorizonMS: math.NaN(), Workers: 1},
+		{HorizonMS: 1000, Workers: 0},
+		{HorizonMS: 1000, Workers: 1, KillsPerSec: -1},
+		{HorizonMS: 1000, Workers: 1, StallMS: -5},
+		{HorizonMS: 1000, Workers: 1, Blackouts: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := GenSystemPlan(cfg); err == nil {
+			t.Fatalf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+}

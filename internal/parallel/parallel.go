@@ -247,6 +247,7 @@ type Pool[S any] struct {
 	workers int
 	panics  atomic.Int64
 	closed  atomic.Bool
+	onPanic func(v any)
 }
 
 // NewPool starts workers goroutines, each holding its own newWorker()
@@ -254,10 +255,20 @@ type Pool[S any] struct {
 // hands the job directly to an idle worker or blocks until one frees —
 // backpressure belongs to the caller's queues, not a hidden channel.
 func NewPool[S any](workers int, newWorker func() S) *Pool[S] {
+	return NewPoolHooked(workers, newWorker, nil)
+}
+
+// NewPoolHooked is NewPool with a recovery hook: onPanic (nil is allowed
+// and ignored) is called with the recovered value once per job panic,
+// after the panic is counted and before the worker rebuilds its state.
+// The hook runs on the panicking worker's goroutine, so it must be safe
+// for concurrent use — the serving layer points it at an obs counter,
+// which is how a pool rebuild becomes visible in metric snapshots.
+func NewPoolHooked[S any](workers int, newWorker func() S, onPanic func(v any)) *Pool[S] {
 	if workers < 1 {
 		workers = Workers()
 	}
-	p := &Pool[S]{jobs: make(chan func(S)), workers: workers}
+	p := &Pool[S]{jobs: make(chan func(S)), workers: workers, onPanic: onPanic}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go p.worker(newWorker)
@@ -288,6 +299,9 @@ func (p *Pool[S]) runJob(s S, job func(S)) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.panics.Add(1)
+			if p.onPanic != nil {
+				p.onPanic(r)
+			}
 		}
 	}()
 	job(s)

@@ -381,3 +381,87 @@ func TestMapWorkersPartialZeroItemsAndExcessWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolHookedPanicMidBatch is the serving layer's pool-recovery
+// contract at workers 1 and 4: killing a worker mid-batch (a job that
+// panics) fires the onPanic hook exactly once per kill, rebuilds the
+// worker's state, and every surviving job still delivers its result —
+// with per-job result channels drained in submit order, so the batch's
+// observable ordering is unchanged by the panic.
+func TestPoolHookedPanicMidBatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const jobs = 24
+		const killAt = 11 // the mid-batch job that kills its worker
+
+		var hookCalls atomic.Int64
+		var hookValue atomic.Value
+		var built atomic.Int64
+		p := NewPoolHooked(workers, func() int { return int(built.Add(1)) }, func(v any) {
+			hookCalls.Add(1)
+			hookValue.Store(v)
+		})
+
+		results := make([]chan int, jobs)
+		for i := 0; i < jobs; i++ {
+			i := i
+			results[i] = make(chan int, 1)
+			p.Submit(func(state int) {
+				if i == killAt {
+					panic("killed worker mid-batch")
+				}
+				results[i] <- i
+			})
+		}
+		p.Close()
+
+		// Every surviving job delivered, and draining the per-job channels
+		// in submit order yields the submit-order indices: the panic did
+		// not reorder or drop any other job's result.
+		for i := 0; i < jobs; i++ {
+			if i == killAt {
+				select {
+				case v := <-results[i]:
+					t.Fatalf("workers=%d: killed job delivered %d", workers, v)
+				default:
+				}
+				continue
+			}
+			select {
+			case v := <-results[i]:
+				if v != i {
+					t.Fatalf("workers=%d: slot %d holds result %d", workers, i, v)
+				}
+			default:
+				t.Fatalf("workers=%d: job %d lost its result after the mid-batch kill", workers, i)
+			}
+		}
+		if p.Panics() != 1 {
+			t.Fatalf("workers=%d: Panics() = %d, want 1", workers, p.Panics())
+		}
+		if hookCalls.Load() != 1 {
+			t.Fatalf("workers=%d: onPanic fired %d times, want 1", workers, hookCalls.Load())
+		}
+		if got, _ := hookValue.Load().(string); got != "killed worker mid-batch" {
+			t.Fatalf("workers=%d: onPanic saw %v, want the panic value", workers, hookValue.Load())
+		}
+		// The killed worker rebuilt its state: more states were built than
+		// workers exist.
+		if built.Load() != int64(workers)+1 {
+			t.Fatalf("workers=%d: built %d states, want %d (one rebuild)", workers, built.Load(), workers+1)
+		}
+	}
+}
+
+// TestPoolNilHookStillCounts: NewPoolHooked with a nil hook behaves like
+// NewPool — panics counted, no crash dereferencing the hook.
+func TestPoolNilHookStillCounts(t *testing.T) {
+	p := NewPoolHooked(1, func() struct{} { return struct{}{} }, nil)
+	p.Submit(func(struct{}) { panic("boom") })
+	done := make(chan struct{}, 1)
+	p.Submit(func(struct{}) { done <- struct{}{} })
+	p.Close()
+	if p.Panics() != 1 {
+		t.Fatalf("Panics() = %d, want 1", p.Panics())
+	}
+	<-done
+}

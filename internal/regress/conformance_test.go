@@ -87,6 +87,15 @@ func TestGoldenExperiments(t *testing.T) {
 		FramesPerStream: 10,
 		QueueDepth:      4,
 	}
+	chaosCfg := experiments.ChaosConfig{
+		Rates:           []float64{0, 2},
+		Streams:         3,
+		FPS:             12,
+		FramesPerStream: 12,
+		Workers:         2,
+		QueueDepth:      4,
+		SLOMS:           80,
+	}
 	cases := []struct {
 		name    string
 		produce func() (experiments.Printer, error)
@@ -102,6 +111,7 @@ func TestGoldenExperiments(t *testing.T) {
 		{"fig10", func() (experiments.Printer, error) { return b.Fig10(), nil }},
 		{"robustness", func() (experiments.Printer, error) { return b.Robustness([]float64{0, 0.2}, 60) }},
 		{"serving", func() (experiments.Printer, error) { return b.Serving(servingCfg) }},
+		{"chaos", func() (experiments.Printer, error) { return b.Chaos(chaosCfg) }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -149,4 +159,41 @@ func TestGoldenServeSnapshot(t *testing.T) {
 		return snap + "health: " + rep.Summary.String() + "\n"
 	})
 	Golden(t, "serve_snapshot", trace)
+}
+
+// TestGoldenChaosServe pins a full supervised chaos run — seeded worker
+// kills/stalls, node blackouts and queue saturation recovered by retry,
+// circuit breakers, watchdog and stream migration — byte for byte at
+// workers 1 and 4. Every recovery decision lives on the virtual clock, so
+// the trace must not depend on the run or the machine's core count, and
+// the fault plan must lose no frames (served + dropped = offered exactly).
+func TestGoldenChaosServe(t *testing.T) {
+	b := conformanceBundle(t)
+	sys := b.DefaultSystem()
+	trace := AtWorkers(t, func() string {
+		load, err := serve.GenLoad(b.DS.Val, serve.LoadConfig{
+			Streams: 3, FPS: 15, FramesPerStream: 12, Seed: 77,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := faults.GenSystemPlan(faults.ScaledSystemConfig(1.5, 41, 1400, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.New(sys.Detector, sys.Regressor, serve.Config{
+			Workers: 2, QueueDepth: 4, SLOMS: 80,
+			Resilient: adascale.DefaultResilientConfig(),
+			Chaos:     plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := srv.Run(load)
+		if n := rep.Lost(); n != 0 {
+			t.Fatalf("chaos run lost %d frames (neither served nor dropped)", n)
+		}
+		return rep.Metrics.Snapshot() + "health: " + rep.Summary.String() + "\n"
+	})
+	Golden(t, "serve_chaos", trace)
 }

@@ -5,27 +5,34 @@ import (
 	"fmt"
 
 	"adascale/internal/adascale"
+	"adascale/internal/faults"
 	"adascale/internal/parallel"
 	"adascale/internal/simclock"
 	"adascale/internal/synth"
 )
 
 // The central scheduler: a single-goroutine discrete-event loop over
-// virtual time. Three event kinds exist — frame completions, frame
-// arrivals, metric ticks — processed in (time, kind, stream, seq) order,
-// so the whole schedule is a deterministic function of the arrival
-// schedule and the per-session scale state. Completions sort before
+// virtual time. Six event kinds exist — frame completions, system fault
+// events, retry expirations, frame arrivals, watchdog checks, metric
+// ticks — processed in (time, kind, stream, seq) order, so the whole
+// schedule is a deterministic function of the arrival schedule, the fault
+// plan and the per-session scale state. Completions sort before
 // same-instant arrivals so a worker freed at t can serve a frame arriving
-// at t; ticks sort last so a snapshot at t observes all of t's work.
+// at t; faults sort between them so a kill at t hits the post-completion
+// state; ticks sort last so a snapshot at t observes all of t's work.
 //
 // Real compute runs ahead asynchronously on the parallel.Pool; the loop
 // blocks on a frame's result only when its virtual completion fires. The
 // virtual in-service count never exceeds the pool's worker count, so a
 // Submit can never deadlock behind jobs whose results the loop has not
-// yet consumed.
+// yet consumed. A dispatch invalidated by a fault simply abandons its
+// buffered result channel — the real worker never blocks sending into it.
 const (
 	kindCompletion = iota
+	kindFault
+	kindRetry
 	kindArrival
+	kindWatchdog
 	kindTick
 )
 
@@ -34,7 +41,7 @@ type event struct {
 	timeMS float64
 	kind   int
 	stream int // index into sessions/streams (not the stream ID)
-	seq    int // arrival index or dispatch counter; stabilises ordering
+	seq    int // arrival index, dispatch ID or plan index; stabilises ordering
 }
 
 // eventHeap is a min-heap over (timeMS, kind, stream, seq).
@@ -60,6 +67,13 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 func (h *eventHeap) push(e event) { heap.Push(h, e) }
 func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
 
+// noCapacity marks "no serving slot free"; anonSlot is the sup-less path's
+// placeholder worker index (capacity is a bare counter there).
+const (
+	noCapacity = -2
+	anonSlot   = -1
+)
+
 // eventLoop is the scheduler state for one Run.
 type eventLoop struct {
 	cfg      Config
@@ -67,6 +81,7 @@ type eventLoop struct {
 	pool     *parallel.Pool[workerState]
 	streams  []Stream
 	sessions []*session
+	sup      *supervisor // nil without a chaos plan
 
 	events      eventHeap
 	clockMS     float64
@@ -84,17 +99,34 @@ func (l *eventLoop) run() {
 			})
 		}
 	}
+	if l.sup != nil {
+		for i, e := range l.sup.plan.Events {
+			l.events.push(event{timeMS: e.AtMS, kind: kindFault, stream: -1, seq: i})
+		}
+	}
 	if l.cfg.TickMS > 0 && l.cfg.OnTick != nil {
 		l.events.push(event{timeMS: l.cfg.TickMS, kind: kindTick})
 	}
 	for l.events.Len() > 0 {
 		ev := l.events.pop()
+		if l.stale(ev) {
+			// Skipped before the clock advances: an abandoned timer (a
+			// watchdog for a completed dispatch, a completion superseded by
+			// a fault or stall) must not stretch the run's duration.
+			continue
+		}
 		l.clockMS = ev.timeMS
 		switch ev.kind {
 		case kindArrival:
 			l.arrive(ev)
 		case kindCompletion:
 			l.complete(ev)
+		case kindFault:
+			l.fault(ev)
+		case kindRetry:
+			l.retryExpired(ev)
+		case kindWatchdog:
+			l.watchdog(ev)
 		case kindTick:
 			l.cfg.OnTick(l.clockMS, l.metrics)
 			// Re-arm only while the simulation still has events: a tick
@@ -106,12 +138,17 @@ func (l *eventLoop) run() {
 	}
 }
 
-// arrive enqueues a frame under the bounded drop-oldest policy.
+// arrive enqueues a frame under the bounded drop-oldest policy. Inside a
+// queue-saturation window the effective capacity collapses to one frame.
 func (l *eventLoop) arrive(ev event) {
 	s := l.sessions[ev.stream]
 	tf := l.streams[ev.stream].Frames[ev.seq]
 	l.metrics.Inc("frames/offered", 1)
-	if dropped := s.push(queuedFrame{frame: tf.Frame, arrivalMS: tf.ArrivalMS}, l.cfg.QueueDepth); dropped != nil {
+	depth := l.cfg.QueueDepth
+	if l.sup != nil {
+		depth = l.sup.queueDepth(l.clockMS, depth)
+	}
+	if dropped := s.push(queuedFrame{frame: tf.Frame, arrivalMS: tf.ArrivalMS}, depth); dropped != nil {
 		l.metrics.Inc("frames/dropped", 1)
 		l.metrics.Inc(fmt.Sprintf("stream/%d/dropped", s.id), 1)
 	}
@@ -120,11 +157,45 @@ func (l *eventLoop) arrive(ev event) {
 	l.dispatch()
 }
 
+// claimCapacity reports a serving slot for a new dispatch: a concrete
+// healthy idle worker under supervision, the anonymous counter slot
+// otherwise, or noCapacity.
+func (l *eventLoop) claimCapacity() int {
+	if l.sup != nil {
+		if w := l.sup.freeWorker(l.clockMS); w >= 0 {
+			return w
+		}
+		return noCapacity
+	}
+	if l.busy < l.cfg.Workers {
+		return anonSlot
+	}
+	return noCapacity
+}
+
 // dispatch starts frames while serving capacity and ready streams remain.
-// Among ready streams it picks the earliest-arrived head frame (lowest
-// stream index on ties) — FIFO across streams, so no stream starves.
+// Open-breaker streams go first and bypass the capacity claim entirely:
+// shed serving is propagation-only on the stream's session state (the DFF
+// warp), not the worker pool, so those streams keep draining while the
+// pool is dead or saturated — the availability contract of the shed rung.
+// Then retry-ready frames (failed dispatches whose backoff has expired);
+// among them, and then among fresh head frames, it picks the
+// earliest-arrived frame (lowest stream index on ties) — FIFO across
+// streams, so no stream starves.
 func (l *eventLoop) dispatch() {
-	for l.busy < l.cfg.Workers {
+	for {
+		if i := l.shedCandidate(); i >= 0 {
+			l.dispatchShed(i)
+			continue
+		}
+		w := l.claimCapacity()
+		if w == noCapacity {
+			return
+		}
+		if i := l.retryCandidate(); i >= 0 {
+			l.redispatch(i, w)
+			continue
+		}
 		best := -1
 		for i, s := range l.sessions {
 			if !s.ready() {
@@ -137,85 +208,254 @@ func (l *eventLoop) dispatch() {
 		if best < 0 {
 			return
 		}
-		l.start(best)
+		l.start(best, w)
 	}
 }
 
-// start dispatches the head frame of session index i: plans the scale,
-// costs the frame on the virtual clock, and (unless the plan skips the
-// detector) ships the compute to the pool.
-func (l *eventLoop) start(i int) {
+// shedCandidate returns the lowest session index whose breaker is open
+// and which has a dispatchable frame — a retry-ready failure or a queued
+// head. shouldShed transitions an expired breaker to half-open as a side
+// effect, at which point the stream stops shedding and probes the real
+// detector path through the pool instead.
+func (l *eventLoop) shedCandidate() int {
+	if l.sup == nil {
+		return -1
+	}
+	for i, s := range l.sessions {
+		if (s.inflight == nil || !s.inflight.retryReady) && !s.ready() {
+			continue
+		}
+		if l.sup.breakers[i].shouldShed(l.clockMS) {
+			return i
+		}
+	}
+	return -1
+}
+
+// dispatchShed serves session index i's next frame in shed mode: last-good
+// detections at flow-warp cost (or the sensor-skip rung's bookkeeping cost
+// when the plan already skips), never touching a worker slot. A retried
+// frame keeps the plan it was first dispatched with.
+func (l *eventLoop) dispatchShed(i int) {
+	s := l.sessions[i]
+	inf := s.inflight
+	if inf != nil && inf.retryReady {
+		l.metrics.Inc("retry/dispatched", 1)
+	} else {
+		qf := s.pop()
+		inf = &inflightFrame{
+			frame: qf.frame, plan: s.sess.Plan(qf.frame),
+			arrivalMS: qf.arrivalMS, startMS: l.clockMS,
+			worker: anonSlot, firstFailMS: -1,
+		}
+		s.inflight = inf
+		l.metrics.Observe("queue/wait_ms", l.clockMS-qf.arrivalMS)
+	}
+	inf.shed, inf.probe = true, false
+	inf.res = nil
+	serviceMS := simclock.DetectorBaseMS + inf.plan.JitterMS
+	if !inf.plan.Skip {
+		serviceMS += simclock.FlowMS
+		l.metrics.Inc("breaker/shed", 1)
+		l.sup.breakers[i].shedFrames++
+	}
+	l.place(i, inf, anonSlot, serviceMS)
+}
+
+// retryCandidate returns the session index with the earliest-arrived
+// retry-ready frame, or -1.
+func (l *eventLoop) retryCandidate() int {
+	best := -1
+	for i, s := range l.sessions {
+		if s.inflight == nil || !s.inflight.retryReady {
+			continue
+		}
+		if best < 0 || s.inflight.arrivalMS < l.sessions[best].inflight.arrivalMS {
+			best = i
+		}
+	}
+	return best
+}
+
+// start dispatches the head frame of session index i on worker slot w:
+// plans the scale, costs the frame on the virtual clock, and (unless the
+// plan skips the detector or the stream's breaker sheds it) ships the
+// compute to the pool.
+func (l *eventLoop) start(i, w int) {
 	s := l.sessions[i]
 	qf := s.pop()
 	plan := s.sess.Plan(qf.frame)
-	inf := &inflightFrame{frame: qf.frame, plan: plan, arrivalMS: qf.arrivalMS, startMS: l.clockMS}
-
-	var serviceMS float64
-	if plan.Skip {
-		// Rung 1: a sensor-observable fault costs only fixed bookkeeping
-		// and never reaches a worker.
-		serviceMS = simclock.DetectorBaseMS + plan.JitterMS
-	} else {
-		serviceMS = simclock.DetectMS(qf.frame.W, qf.frame.H, plan.Scale) + s.sess.Overhead() + plan.JitterMS
-		inf.res = make(chan computeResult, 1)
-		frame, scale, res, tr := qf.frame, plan.Scale, inf.res, l.cfg.Tracer
-		l.pool.Submit(func(w workerState) {
-			// A panicking frame must still deliver a result — the loop
-			// blocks on res at the completion event — and must still
-			// count against the pool (state rebuild), hence the re-panic.
-			defer func() {
-				if r := recover(); r != nil {
-					res <- computeResult{err: fmt.Errorf("serve: frame compute panicked: %v", r)}
-					panic(r)
-				}
-			}()
-			ref := tr.Now()
-			r := w.det.DetectWithFeatures(frame, scale)
-			detWall := tr.SinceMS(ref)
-			ref = tr.Now()
-			t := w.reg.Predict(r.Features)
-			w.det.Recycle(r.Features)
-			r.Features = nil
-			res <- computeResult{r: r, t: t, detWallMS: detWall, regWallMS: tr.SinceMS(ref)}
-		})
+	inf := &inflightFrame{
+		frame: qf.frame, plan: plan, arrivalMS: qf.arrivalMS, startMS: l.clockMS,
+		worker: anonSlot, firstFailMS: -1,
 	}
-
+	if !plan.Skip {
+		inf.serviceMS = simclock.DetectMS(qf.frame.W, qf.frame.H, plan.Scale) + s.sess.Overhead() + plan.JitterMS
+	}
 	s.inflight = inf
-	l.busy++
 	l.metrics.Observe("queue/wait_ms", l.clockMS-qf.arrivalMS)
-	l.events.push(event{timeMS: l.clockMS + serviceMS, kind: kindCompletion, stream: i, seq: l.dispatchSeq})
-	l.dispatchSeq++
+	l.dispatchInflight(i, w, inf)
 }
 
-// complete finishes the in-flight frame of session index ev.stream: joins
-// the worker's result, closes the frame through the resilient ladder with
-// its end-to-end latency as the budget charge (the SLO rung), and records
-// the serving metrics.
+// redispatch re-dispatches session index i's retry-ready frame on worker
+// slot w, with the plan (and therefore the modelled cost) it was first
+// dispatched with — re-planning would double-step the session's deadline
+// hysteresis.
+func (l *eventLoop) redispatch(i, w int) {
+	l.metrics.Inc("retry/dispatched", 1)
+	l.dispatchInflight(i, w, l.sessions[i].inflight)
+}
+
+// dispatchInflight places the frame on the virtual clock in its current
+// mode: skip (sensor fault) or the full detector path on the pool. Shed
+// dispatches never reach here — dispatch routes open-breaker streams
+// through dispatchShed before any capacity is claimed.
+func (l *eventLoop) dispatchInflight(i, w int, inf *inflightFrame) {
+	inf.shed, inf.probe = false, l.probing(i, inf)
+	inf.res = nil
+	var serviceMS float64
+	if inf.plan.Skip {
+		// Rung 1: a sensor-observable fault costs only fixed bookkeeping
+		// and never reaches a worker.
+		serviceMS = simclock.DetectorBaseMS + inf.plan.JitterMS
+	} else {
+		serviceMS = inf.serviceMS
+		l.submitCompute(inf)
+	}
+	l.place(i, inf, w, serviceMS)
+}
+
+// probing reports whether this dispatch is a half-open breaker's probe:
+// its success closes the breaker, its failure re-opens with a longer
+// cooldown.
+func (l *eventLoop) probing(i int, inf *inflightFrame) bool {
+	if l.sup == nil || inf.plan.Skip {
+		return false
+	}
+	return l.sup.breakers[i].state == breakerHalfOpen
+}
+
+// place assigns the dispatch a fresh ID, occupies the worker slot, and
+// schedules the completion (and, under supervision, the watchdog).
+func (l *eventLoop) place(i int, inf *inflightFrame, w int, serviceMS float64) {
+	l.dispatchSeq++
+	inf.dispID = l.dispatchSeq
+	inf.worker = w
+	inf.retryReady = false
+	inf.completionMS = l.clockMS + serviceMS
+	if w >= 0 {
+		l.sup.workers[w].dispID = inf.dispID
+		l.sup.workers[w].stream = i
+	}
+	if !inf.shed {
+		// Shed dispatches run off-pool; busy guards only real pool
+		// submissions (the Submit-never-deadlocks invariant).
+		l.busy++
+	}
+	l.events.push(event{timeMS: inf.completionMS, kind: kindCompletion, stream: i, seq: inf.dispID})
+	if l.sup != nil && l.sup.cfg.WatchdogMS > 0 && !inf.plan.Skip && !inf.shed {
+		l.events.push(event{timeMS: l.clockMS + l.sup.cfg.WatchdogMS, kind: kindWatchdog, stream: i, seq: inf.dispID})
+	}
+}
+
+// submitCompute ships the frame's detector + regressor pass to the pool.
+func (l *eventLoop) submitCompute(inf *inflightFrame) {
+	inf.res = make(chan computeResult, 1)
+	frame, scale, res, tr := inf.frame, inf.plan.Scale, inf.res, l.cfg.Tracer
+	l.pool.Submit(func(w workerState) {
+		// A panicking frame must still deliver a result — the loop
+		// blocks on res at the completion event — and must still
+		// count against the pool (state rebuild), hence the re-panic.
+		defer func() {
+			if r := recover(); r != nil {
+				res <- computeResult{err: fmt.Errorf("serve: frame compute panicked: %v", r)}
+				panic(r)
+			}
+		}()
+		ref := tr.Now()
+		r := w.det.DetectWithFeatures(frame, scale)
+		detWall := tr.SinceMS(ref)
+		ref = tr.Now()
+		t := w.reg.Predict(r.Features)
+		w.det.Recycle(r.Features)
+		r.Features = nil
+		res <- computeResult{r: r, t: t, detWallMS: detWall, regWallMS: tr.SinceMS(ref)}
+	})
+}
+
+// freeDispatch releases the frame's worker slot and invalidates its
+// dispatch ID, so any already-scheduled completion or watchdog event for
+// it is recognised as stale.
+func (l *eventLoop) freeDispatch(inf *inflightFrame) {
+	if inf.worker >= 0 {
+		l.sup.workers[inf.worker].dispID = 0
+	}
+	inf.dispID = 0
+	inf.worker = anonSlot
+	if !inf.shed {
+		l.busy--
+	}
+}
+
+// stale recognises events whose dispatch no longer exists: a completion
+// or watchdog whose dispatch ID was invalidated by a fault, or a
+// completion superseded by a stall's rescheduled one (the completionMS
+// check). run skips them without advancing the clock; the handlers below
+// therefore only ever see live events.
+func (l *eventLoop) stale(ev event) bool {
+	switch ev.kind {
+	case kindCompletion:
+		inf := l.sessions[ev.stream].inflight
+		return inf == nil || inf.dispID != ev.seq || ev.timeMS != inf.completionMS
+	case kindWatchdog:
+		inf := l.sessions[ev.stream].inflight
+		return inf == nil || inf.dispID != ev.seq
+	}
+	return false
+}
+
+// complete finishes the in-flight frame of session index ev.stream.
 func (l *eventLoop) complete(ev event) {
 	s := l.sessions[ev.stream]
 	inf := s.inflight
+	l.freeDispatch(inf)
+	var cr computeResult
+	if inf.res != nil {
+		cr = <-inf.res
+	}
+	l.settle(ev.stream, inf, cr)
+	l.dispatch()
+}
+
+// settle emits the frame's output through the resilient ladder with its
+// end-to-end latency as the budget charge (the SLO rung) and records the
+// serving metrics. It is the single exit for every frame: completed,
+// breaker-shed, or abandoned after exhausting its retries.
+func (l *eventLoop) settle(i int, inf *inflightFrame, cr computeResult) {
+	s := l.sessions[i]
 	s.inflight = nil
-	l.busy--
 
 	latency := l.clockMS - inf.arrivalMS
 	var out adascale.FrameOutput
-	var cr computeResult
+	detectorRan := false
 	switch {
-	case inf.res == nil:
+	case inf.plan.Skip:
 		l.metrics.Inc("frames/skipped", 1)
 		out = s.sess.Finish(inf.frame, inf.plan, nil, 0, latency)
+	case inf.res == nil:
+		// Breaker-shed or abandoned: the degradation ladder propagates the
+		// last-good detections with explicit accounting.
+		out = s.sess.Finish(inf.frame, inf.plan, nil, 0, latency)
+	case cr.err != nil:
+		// A poisoned frame degrades like a sensed fault: the session
+		// propagates its last good detections with explicit accounting,
+		// and the panic is counted — one bad frame must not take down the
+		// stream, let alone the server.
+		l.metrics.Inc("frames/panic", 1)
+		out = s.sess.Finish(inf.frame, inf.plan, nil, 0, latency)
 	default:
-		cr = <-inf.res
-		if cr.err != nil {
-			// A poisoned frame degrades like a sensed fault: the session
-			// propagates its last good detections with explicit
-			// accounting, and the panic is counted — one bad frame must
-			// not take down the stream, let alone the server.
-			l.metrics.Inc("frames/panic", 1)
-			out = s.sess.Finish(inf.frame, inf.plan, nil, 0, latency)
-		} else {
-			out = s.sess.Finish(inf.frame, inf.plan, cr.r, cr.t, latency)
-		}
+		out = s.sess.Finish(inf.frame, inf.plan, cr.r, cr.t, latency)
+		detectorRan = true
 	}
 	s.outputs = append(s.outputs, out)
 
@@ -230,6 +470,17 @@ func (l *eventLoop) complete(ev event) {
 	if out.Health.Fallback != adascale.FallbackNone {
 		l.metrics.Inc("fallback/"+out.Health.Fallback.String(), 1)
 	}
+	if l.sup != nil {
+		if detectorRan {
+			if l.sup.breakers[i].onSuccess() {
+				l.metrics.Inc("breaker/close", 1)
+			}
+		}
+		if inf.firstFailMS >= 0 {
+			// Recovery time: first dispatch failure → the frame's output.
+			l.metrics.Observe("recovery/ms", l.clockMS-inf.firstFailMS)
+		}
+	}
 	sloMissed := l.cfg.SLOMS > 0 && latency > l.cfg.SLOMS
 	if sloMissed {
 		s.sloMiss++
@@ -237,7 +488,141 @@ func (l *eventLoop) complete(ev event) {
 		l.metrics.Inc(fmt.Sprintf("stream/%d/slo_miss", s.id), 1)
 	}
 	l.trace(s, out, cr, inf.startMS, sloMissed)
+}
+
+// fault applies one system fault event (seq indexes the plan), or — for
+// seq < 0 — handles a capacity-recovery wakeup.
+func (l *eventLoop) fault(ev event) {
+	if ev.seq < 0 {
+		l.dispatch()
+		return
+	}
+	e := l.sup.plan.Events[ev.seq]
+	l.metrics.Inc("chaos/"+e.Kind.String(), 1)
+	switch e.Kind {
+	case faults.SysWorkerKill:
+		l.metrics.Inc("workers/rebuilt", 1)
+		l.killWorker(e.Worker, l.clockMS+l.sup.cfg.RebuildMS, "kill")
+	case faults.SysWorkerStall:
+		l.stallWorker(e.Worker, e.DurationMS)
+	case faults.SysNodeBlackout:
+		until := l.clockMS + e.DurationMS
+		for wi := range l.sup.workers {
+			l.killWorker(wi, until, "blackout")
+		}
+		// The node is gone: every stream migrates — its session checkpoint
+		// restored into a fresh session, as a replacement node would do
+		// before replaying the stream.
+		for _, s := range l.sessions {
+			l.sup.migrate(s)
+			l.metrics.Inc("migrations", 1)
+		}
+	case faults.SysQueueSaturate:
+		if u := l.clockMS + e.DurationMS; u > l.sup.satUntil {
+			l.sup.satUntil = u
+		}
+	}
 	l.dispatch()
+}
+
+// killWorker takes a worker down until deadUntil; its in-flight dispatch
+// (if any) is lost and routed to retry.
+func (l *eventLoop) killWorker(wi int, deadUntil float64, reason string) {
+	w := &l.sup.workers[wi]
+	if deadUntil > w.deadUntilMS {
+		w.deadUntilMS = deadUntil
+	}
+	if w.dispID != 0 {
+		stream := w.stream
+		w.dispID = 0
+		l.failDispatch(stream, reason)
+	}
+	l.wakeAt(w.deadUntilMS)
+}
+
+// stallWorker freezes a worker for durMS; an in-flight dispatch resumes
+// where it left off when the stall ends, so its completion moves out by
+// the stall (the watchdog may reassign it first).
+func (l *eventLoop) stallWorker(wi int, durMS float64) {
+	w := &l.sup.workers[wi]
+	until := l.clockMS + durMS
+	if until > w.stallUntilMS {
+		w.stallUntilMS = until
+	}
+	if w.dispID != 0 {
+		inf := l.sessions[w.stream].inflight
+		inf.completionMS += durMS
+		l.metrics.Inc("stall/delayed", 1)
+		l.events.push(event{timeMS: inf.completionMS, kind: kindCompletion, stream: w.stream, seq: inf.dispID})
+	}
+	l.wakeAt(w.stallUntilMS)
+}
+
+// failDispatch invalidates session index i's current dispatch: the frame
+// goes to retry with exponential backoff and deterministic jitter, or —
+// once MaxRetries is exhausted — is abandoned into the degradation ladder
+// (propagated output; never silently lost). The breaker records the
+// failure. The worker slot itself is the caller's to release.
+func (l *eventLoop) failDispatch(i int, reason string) {
+	s := l.sessions[i]
+	inf := s.inflight
+	if inf == nil || inf.dispID == 0 {
+		return
+	}
+	inf.dispID = 0
+	inf.worker = anonSlot
+	if !inf.shed {
+		l.busy--
+	}
+	inf.probe, inf.shed = false, false
+	inf.res = nil // the buffered result channel is abandoned, never joined
+	if inf.firstFailMS < 0 {
+		inf.firstFailMS = l.clockMS
+	}
+	inf.attempts++
+	l.metrics.Inc("retry/failures", 1)
+	l.metrics.Inc("fail/"+reason, 1)
+	if l.sup.breakers[i].onFailure(l.clockMS) {
+		l.metrics.Inc("breaker/open", 1)
+	}
+	if inf.attempts > l.sup.cfg.MaxRetries {
+		l.metrics.Inc("frames/abandoned", 1)
+		l.settle(i, inf, computeResult{})
+		return
+	}
+	backoff := l.sup.backoffMS(s.id, inf.attempts)
+	l.metrics.Observe("retry/backoff_ms", backoff)
+	l.events.push(event{timeMS: l.clockMS + backoff, kind: kindRetry, stream: i, seq: inf.attempts})
+}
+
+// retryExpired marks a failed frame dispatchable again.
+func (l *eventLoop) retryExpired(ev event) {
+	s := l.sessions[ev.stream]
+	if inf := s.inflight; inf != nil && inf.dispID == 0 {
+		inf.retryReady = true
+	}
+	l.dispatch()
+}
+
+// watchdog fires WatchdogMS after a dispatch; if that dispatch is still in
+// flight it is presumed stalled and reassigned.
+func (l *eventLoop) watchdog(ev event) {
+	s := l.sessions[ev.stream]
+	inf := s.inflight
+	l.metrics.Inc("watchdog/reassigned", 1)
+	if inf.worker >= 0 {
+		// The stalled worker is abandoned to its stall; it frees when the
+		// stall ends, not when the reassigned frame completes.
+		l.sup.workers[inf.worker].dispID = 0
+	}
+	l.failDispatch(ev.stream, "watchdog")
+	l.dispatch()
+}
+
+// wakeAt schedules a capacity-recovery wakeup: workers revived at t must
+// be able to pick up queued or retry-ready work immediately.
+func (l *eventLoop) wakeAt(t float64) {
+	l.events.push(event{timeMS: t, kind: kindFault, stream: -1, seq: -1})
 }
 
 // trace records the served frame's pipeline-stage spans (start = the

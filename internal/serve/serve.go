@@ -31,12 +31,26 @@ import (
 	"fmt"
 
 	"adascale/internal/adascale"
+	"adascale/internal/faults"
 	"adascale/internal/obs"
 	"adascale/internal/parallel"
 	"adascale/internal/regressor"
 	"adascale/internal/rfcn"
 	"adascale/internal/synth"
 )
+
+// ConfigError is the typed error Validate returns for a rejected serving
+// configuration, so callers (the serve command, the experiment runners)
+// can distinguish a bad config from a runtime failure.
+type ConfigError struct {
+	Field  string // the Config field that was rejected
+	Reason string // why
+}
+
+// Error implements the error interface.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("serve: invalid config: %s: %s", e.Field, e.Reason)
+}
 
 // Config parameterises the server.
 type Config struct {
@@ -46,7 +60,11 @@ type Config struct {
 	Workers int
 
 	// QueueDepth bounds each stream's arrival queue; an arrival beyond it
-	// drops the oldest queued frame. 0 means 8.
+	// drops the oldest queued frame. It must be positive: a zero or
+	// negative capacity cannot hold the frame being admitted, and is
+	// rejected by Validate with a *ConfigError rather than silently
+	// rewritten (a stream with no queue would drop-panic on its first
+	// arrival).
 	QueueDepth int
 
 	// MaxStreams is the admission-control capacity: streams beyond it are
@@ -85,14 +103,27 @@ type Config struct {
 	// (profiling aid; not deterministic). Nil leaves the snapshot exactly
 	// as it was before tracing existed.
 	Tracer *obs.Tracer
+
+	// Chaos, when non-nil, runs the server under the given system fault
+	// plan (faults.GenSystemPlan): worker kills, worker stalls, node
+	// blackouts and queue-saturation windows are applied at their plan
+	// instants on the virtual clock, and the supervision layer (retry with
+	// backoff, per-stream circuit breakers, watchdog reassignment, stream
+	// migration via session checkpoints) recovers from them. Chaos runs
+	// require an explicit Workers count — the plan targets worker indices,
+	// and determinism across machines forbids a GOMAXPROCS-derived
+	// capacity. Nil runs the plain scheduler, byte-identical to a server
+	// without a supervision layer at all.
+	Chaos *faults.SystemPlan
+
+	// Supervisor tunes the recovery machinery; consulted only when Chaos
+	// is set. The zero value means all defaults.
+	Supervisor SupervisorConfig
 }
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = parallel.Workers()
-	}
-	if c.QueueDepth <= 0 {
-		c.QueueDepth = 8
 	}
 	c.Resilient.DeadlineMS = c.SLOMS
 	// The scheduler records spans itself with true event-loop timestamps;
@@ -104,13 +135,29 @@ func (c Config) withDefaults() Config {
 // Validate reports configuration errors.
 func (c *Config) Validate() error {
 	if c.SLOMS < 0 {
-		return fmt.Errorf("serve: negative SLO %v ms", c.SLOMS)
+		return &ConfigError{Field: "SLOMS", Reason: fmt.Sprintf("negative SLO %v ms", c.SLOMS)}
+	}
+	if c.QueueDepth <= 0 {
+		return &ConfigError{Field: "QueueDepth", Reason: fmt.Sprintf("queue capacity %d cannot admit a frame; need >= 1", c.QueueDepth)}
 	}
 	if c.MaxStreams < 0 {
-		return fmt.Errorf("serve: negative MaxStreams %d", c.MaxStreams)
+		return &ConfigError{Field: "MaxStreams", Reason: fmt.Sprintf("negative MaxStreams %d", c.MaxStreams)}
 	}
 	if c.TickMS < 0 {
-		return fmt.Errorf("serve: negative TickMS %v", c.TickMS)
+		return &ConfigError{Field: "TickMS", Reason: fmt.Sprintf("negative TickMS %v", c.TickMS)}
+	}
+	if err := c.Supervisor.Validate(); err != nil {
+		return err
+	}
+	if c.Chaos != nil {
+		if c.Workers <= 0 {
+			return &ConfigError{Field: "Workers", Reason: "chaos runs need an explicit worker count (the fault plan targets worker indices)"}
+		}
+		for i, e := range c.Chaos.Events {
+			if e.Worker >= c.Workers {
+				return &ConfigError{Field: "Chaos", Reason: fmt.Sprintf("event %d targets worker %d but the server has %d", i, e.Worker, c.Workers)}
+			}
+		}
 	}
 	return nil
 }
@@ -135,6 +182,14 @@ func New(det *rfcn.Detector, reg *regressor.Regressor, cfg Config) (*Server, err
 // StreamReport is one admitted stream's serving outcome.
 type StreamReport struct {
 	ID int
+
+	// Offered is the number of frames the load schedule offered the
+	// stream. Every offered frame is accounted for: it appears in Outputs
+	// (served — possibly via propagation after retries were exhausted) or
+	// in Dropped (evicted by the queue policy). Offered == len(Outputs) +
+	// len(Dropped) is the zero-lost-frames invariant the chaos gate
+	// asserts.
+	Offered int
 
 	// Outputs are the served frames in arrival order, with full resilient
 	// Health accounting (identical semantics to the offline runners).
@@ -185,6 +240,18 @@ func (r *Report) TotalDropped() int {
 	return n
 }
 
+// Lost returns the number of offered frames that are neither in a
+// stream's outputs nor in its drop list — always zero by the scheduler's
+// accounting invariant; the chaos smoke gate asserts it stays that way
+// under fault injection.
+func (r *Report) Lost() int {
+	n := 0
+	for i := range r.Streams {
+		n += r.Streams[i].Offered - len(r.Streams[i].Outputs) - len(r.Streams[i].Dropped)
+	}
+	return n
+}
+
 // workerState is one pool worker's private clones; the nn layers cache
 // activations and are not safe to share, but every clone computes
 // identical values, so which worker serves which frame cannot affect any
@@ -220,9 +287,11 @@ func (s *Server) Run(streams []Stream) *Report {
 		}
 	}
 
-	pool := parallel.NewPool(s.cfg.Workers, func() workerState {
+	// A job panic rebuilds the worker's state inside the pool; the hook
+	// makes that rebuild visible in the metrics snapshot.
+	pool := parallel.NewPoolHooked(s.cfg.Workers, func() workerState {
 		return workerState{det: s.det.Clone(), reg: s.reg.Clone()}
-	})
+	}, func(any) { m.Inc("pool/panic_rebuild", 1) })
 	defer pool.Close()
 
 	loop := &eventLoop{
@@ -232,13 +301,18 @@ func (s *Server) Run(streams []Stream) *Report {
 		streams:  admitted,
 		sessions: sessions,
 	}
+	if s.cfg.Chaos != nil {
+		loop.sup = newSupervisor(s.cfg.Chaos, s.cfg.Supervisor, s.cfg.SLOMS,
+			s.reg.Kernels, s.cfg.Resilient, s.cfg.Workers, len(sessions))
+	}
 	loop.run()
 
 	rep.DurationMS = loop.clockMS
 	m.Set("time/final_ms", loop.clockMS)
-	for _, sess := range sessions {
+	for i, sess := range sessions {
 		rep.Streams = append(rep.Streams, StreamReport{
 			ID:        sess.id,
+			Offered:   len(admitted[i].Frames),
 			Outputs:   sess.outputs,
 			Dropped:   sess.dropped,
 			SLOMisses: sess.sloMiss,

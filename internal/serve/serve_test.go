@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"runtime"
 	"strings"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"adascale/internal/adascale"
+	"adascale/internal/faults"
 	"adascale/internal/regressor"
 	"adascale/internal/synth"
 )
@@ -261,7 +263,7 @@ func TestServeMatchesOfflineRunner(t *testing.T) {
 // front, reported, counted, and never served.
 func TestServeAdmissionControl(t *testing.T) {
 	ds, sys := system(t)
-	cfg := Config{Workers: 2, MaxStreams: 2, Resilient: adascale.DefaultResilientConfig()}
+	cfg := Config{Workers: 2, QueueDepth: 8, MaxStreams: 2, Resilient: adascale.DefaultResilientConfig()}
 	rep := newServer(t, sys, cfg).Run(load(t, ds, 5, 10, 6, 17))
 
 	if len(rep.Streams) != 2 {
@@ -283,13 +285,54 @@ func TestServeAdmissionControl(t *testing.T) {
 	}
 }
 
-// TestServeConfigValidation rejects nonsense configs at New time.
+// TestServeConfigValidation rejects nonsense configs at New time with the
+// typed *ConfigError, naming the offending field. Zero and negative queue
+// capacities in particular must fail fast: before they were validated, a
+// depth-0 stream panicked on its first arrival (evicting from an empty
+// queue).
 func TestServeConfigValidation(t *testing.T) {
 	_, sys := system(t)
-	for _, cfg := range []Config{{SLOMS: -1}, {MaxStreams: -2}, {TickMS: -5}} {
-		if _, err := New(sys.Detector, sys.Regressor, cfg); err == nil {
-			t.Fatalf("config %+v accepted", cfg)
+	base := func() Config {
+		return Config{Workers: 2, QueueDepth: 4, Resilient: adascale.DefaultResilientConfig()}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+	}{
+		{"negative SLO", func(c *Config) { c.SLOMS = -1 }, "SLOMS"},
+		{"zero queue depth", func(c *Config) { c.QueueDepth = 0 }, "QueueDepth"},
+		{"negative queue depth", func(c *Config) { c.QueueDepth = -3 }, "QueueDepth"},
+		{"negative max streams", func(c *Config) { c.MaxStreams = -2 }, "MaxStreams"},
+		{"negative tick", func(c *Config) { c.TickMS = -5 }, "TickMS"},
+		{"negative retry bound", func(c *Config) { c.Supervisor.MaxRetries = -1 }, "Supervisor.MaxRetries"},
+		{"chaos without workers", func(c *Config) {
+			c.Workers = 0
+			c.Chaos = &faults.SystemPlan{}
+		}, "Workers"},
+		{"chaos targeting a missing worker", func(c *Config) {
+			c.Chaos = &faults.SystemPlan{Events: []faults.SystemEvent{
+				{AtMS: 10, Kind: faults.SysWorkerKill, Worker: 7},
+			}}
+		}, "Chaos"},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mutate(&cfg)
+		_, err := New(sys.Detector, sys.Regressor, cfg)
+		if err == nil {
+			t.Fatalf("%s: config accepted", tc.name)
 		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: error %v is not a *ConfigError", tc.name, err)
+		}
+		if ce.Field != tc.field {
+			t.Fatalf("%s: rejected field %q, want %q", tc.name, ce.Field, tc.field)
+		}
+	}
+	if _, err := New(sys.Detector, sys.Regressor, base()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
 	}
 }
 

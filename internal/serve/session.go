@@ -34,16 +34,30 @@ type queuedFrame struct {
 	arrivalMS float64
 }
 
-// inflightFrame tracks a dispatched frame until its completion event.
+// inflightFrame tracks a frame from its first dispatch until its
+// completion event — across retries, when the supervision layer is active.
 type inflightFrame struct {
 	frame     *synth.Frame
 	plan      adascale.FramePlan
 	arrivalMS float64
-	startMS   float64
+	startMS   float64 // first dispatch instant (virtual ms)
 
 	// res delivers the worker's compute result; nil for skipped frames
-	// (sensor-observable faults never reach a worker).
+	// (sensor-observable faults never reach a worker) and for breaker-shed
+	// propagation-only frames.
 	res chan computeResult
+
+	// Supervision state (meaningful only when the server runs a chaos
+	// plan; all zero on the plain path).
+	dispID       int     // current dispatch ID (0 = not dispatched right now)
+	worker       int     // virtual worker of the current dispatch (-1 = none)
+	completionMS float64 // scheduled completion instant of the current dispatch
+	serviceMS    float64 // modelled detector-path service time (reused on retry)
+	shed         bool    // current dispatch bypasses the detector (breaker open)
+	probe        bool    // current dispatch is a half-open breaker probe
+	attempts     int     // failed dispatches so far
+	retryReady   bool    // backoff elapsed; waiting for a free worker
+	firstFailMS  float64 // first dispatch-failure instant (-1 = never failed)
 }
 
 // computeResult is what a pool worker hands back to the event loop: the

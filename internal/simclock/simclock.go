@@ -145,6 +145,21 @@ func (b *Budget) Reset() {
 	b.next, b.filled, b.sum = 0, 0, 0
 }
 
+// Charges returns the recorded window contents oldest-first — the state a
+// checkpoint must carry so a restored budget resumes with the same rolling
+// mean (replay them through Charge after a Reset).
+func (b *Budget) Charges() []float64 {
+	out := make([]float64, 0, b.filled)
+	start := b.next - b.filled
+	if start < 0 {
+		start += len(b.window)
+	}
+	for i := 0; i < b.filled; i++ {
+		out = append(out, b.window[(start+i)%len(b.window)])
+	}
+	return out
+}
+
 // MeanMS returns the rolling mean per-frame cost (0 before any charge).
 func (b *Budget) MeanMS() float64 {
 	if b.filled == 0 {

@@ -72,6 +72,12 @@ gate "fuzz-loadgen" go test -run='^$' -fuzz='^FuzzLoadgen$' -fuzztime=5s ./inter
 gate "serve-smoke" go run -race ./cmd/adascale-serve -streams 4 -frames 50 -rate 5 \
 	-slo-ms 0 -tick-ms 0 -train 8 -val 4 -workers 4 -seed 5 -smoke
 
+# Fault-tolerance gate: a seeded chaos run (worker kills/stalls, node
+# blackout, queue saturation) under the race detector, twice — once at
+# default parallelism, once at GOMAXPROCS=1 — asserting zero lost
+# streams/frames and byte-identical output across the two runs.
+gate "chaos-smoke" ./scripts/chaos-smoke.sh
+
 # Benchmark-report gates: the diff tool must localise a synthetic
 # single-stage regression (its self-validation), and the committed
 # baseline must parse, carry a known schema, and self-compare clean.
