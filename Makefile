@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench microbench fuzz-smoke serve-smoke chaos-smoke benchdiff golden
+.PHONY: check ci fmt vet build test race bench microbench fuzz-smoke serve-smoke chaos-smoke http-smoke benchdiff golden
 
-check: fmt vet build race fuzz-smoke serve-smoke chaos-smoke benchdiff
+check: fmt vet build race fuzz-smoke serve-smoke chaos-smoke http-smoke benchdiff
 
 # CI entry point: the same gates as `check` but fail-slow — every gate
 # runs even after a failure so one push reports all breakage at once,
@@ -55,6 +55,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzNMS$$ -fuzztime=5s ./internal/detect
 	$(GO) test -run=^$$ -fuzz=^FuzzEvaluate$$ -fuzztime=5s ./internal/eval
 	$(GO) test -run=^$$ -fuzz=^FuzzLoadgen$$ -fuzztime=5s ./internal/serve
+	$(GO) test -run=^$$ -fuzz=^FuzzIngestDecode$$ -fuzztime=5s ./internal/server
 
 # End-to-end serving gate under the race detector: 200 simulated frames
 # across 4 streams at an unloaded rate must serve with zero drops and a
@@ -69,6 +70,13 @@ serve-smoke:
 # and byte-identical output across the two runs.
 chaos-smoke:
 	./scripts/chaos-smoke.sh
+
+# HTTP transport gate: boot `adascale-serve -http` on an ephemeral port
+# under -race, curl the whole API (admission, ingestion, results, probes,
+# Prometheus /metrics), then SIGTERM and require a zero-loss graceful
+# drain (offered == served + dropped through shutdown).
+http-smoke:
+	./scripts/http-smoke.sh
 
 # Benchmark-report gates: the diff tool must localise a synthetic
 # single-stage regression (its own self-validation), and the committed

@@ -44,6 +44,7 @@ import (
 	"adascale/internal/rfcn"
 	"adascale/internal/seqnms"
 	"adascale/internal/serve"
+	"adascale/internal/server"
 	"adascale/internal/synth"
 )
 
@@ -378,6 +379,45 @@ func ScaledSystemConfig(rate float64, seed int64, horizonMS float64, workers int
 func NewResilientSession(kernels []int, cfg ResilientConfig) *ResilientSession {
 	return adascale.NewResilientSession(kernels, cfg)
 }
+
+// HTTP serving front end (internal/server): the network surface over the
+// serving core — stream admission with SLO/queue/quota, frame ingestion,
+// results, health probes and Prometheus /metrics, with graceful drain.
+type (
+	// HTTPConfig parameterises the HTTP server: worker pool, per-stream
+	// queue depth, stream quotas, default SLO, per-tenant rate limit, and
+	// the clock bridge that stamps arrivals onto the virtual serving clock.
+	HTTPConfig = server.Config
+	// HTTPServer is the stdlib-only net/http front end.
+	HTTPServer = server.Server
+	// HTTPRateLimit is the per-tenant token-bucket rate limit.
+	HTTPRateLimit = server.RateLimit
+	// HTTPConfigError is the typed validation error HTTPConfig reports.
+	HTTPConfigError = server.ConfigError
+	// HTTPRequestError is the typed 400 the ingestion decoders report.
+	HTTPRequestError = server.RequestError
+	// HTTPClock maps transport arrivals onto the virtual serving clock.
+	HTTPClock = server.Clock
+	// HTTPWallClock is the production bridge (wall ms since start).
+	HTTPWallClock = server.WallClock
+	// HTTPScriptClock is the deterministic bridge for recorded scripts.
+	HTTPScriptClock = server.ScriptClock
+)
+
+// NewHTTPServer creates the HTTP serving front end over a trained system.
+// Underneath it is the same virtual-time machinery as NewServer: frame
+// costs come from the modelled runtime clock, arrivals are stamped through
+// HTTPConfig.Clock, and with a ScriptClock the responses to a recorded
+// request script are byte-identical across runs and worker counts.
+func NewHTTPServer(det *Detector, reg *Regressor, cfg HTTPConfig) (*HTTPServer, error) {
+	return server.New(det, reg, cfg)
+}
+
+// NewHTTPWallClock starts a wall-clock bridge at virtual time zero.
+func NewHTTPWallClock() *HTTPWallClock { return server.NewWallClock() }
+
+// NewHTTPScriptClock starts a scripted clock at virtual time zero.
+func NewHTTPScriptClock() *HTTPScriptClock { return server.NewScriptClock() }
 
 // Video-acceleration baselines.
 type (

@@ -11,7 +11,19 @@
 //	               [-max-streams 0] [-rate 30] [-frames 60] [-tick-ms 500] \
 //	               [-dataset vid|ytbb] [-train 12] [-val 8] [-seed 5] \
 //	               [-faults 0] [-chaos 0] [-chaos-seed 0] [-smoke] \
-//	               [-trace trace.txt] [-trace-wall] [-pprof localhost:6060]
+//	               [-trace trace.txt] [-trace-wall] [-pprof localhost:6060] \
+//	               [-http addr] [-rate-limit 0] [-burst 0] [-tenant-streams 0]
+//
+// -http <addr> switches the command from the offline simulation into the
+// network serving mode (internal/server): it trains the same system, then
+// listens on addr and serves the HTTP API — stream admission, frame
+// ingestion, results, health probes and Prometheus /metrics — until
+// SIGTERM/SIGINT, when it drains gracefully (admission closes, every
+// admitted frame is flushed, then the listener stops) and prints the
+// accounting line `drain: offered=N served=M dropped=K lost=0` plus the
+// final metrics snapshot. -rate-limit/-burst bound each tenant's request
+// rate (token bucket); -tenant-streams caps streams per tenant; -queue,
+// -slo-ms, -max-streams and -workers keep their meanings.
 //
 // -chaos <rate> injects a seeded *system* fault plan on top of the load:
 // worker kills and stalls (Poisson at the given intensity), node
@@ -34,8 +46,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -43,6 +59,7 @@ import (
 	"adascale/internal/cli"
 	"adascale/internal/faults"
 	"adascale/internal/serve"
+	"adascale/internal/server"
 	"adascale/internal/synth"
 )
 
@@ -60,6 +77,10 @@ func main() {
 	chaosRate := flag.Float64("chaos", 0, "system fault intensity: worker kills/stalls, blackouts, queue saturation (0 = off)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "chaos plan seed (0 = derive from -seed)")
 	smoke := flag.Bool("smoke", false, "gate mode: exit non-zero on any drop (or, under -chaos, any lost stream/frame) or an empty snapshot")
+	httpAddr := flag.String("http", "", "serve the HTTP API on this address instead of running the offline simulation (e.g. 127.0.0.1:8080)")
+	rateLimit := flag.Float64("rate-limit", 0, "http: per-tenant request rate limit, req/s (0 = off)")
+	burst := flag.Int("burst", 0, "http: token-bucket burst for -rate-limit")
+	tenantStreams := flag.Int("tenant-streams", 0, "http: max streams per tenant (0 = unlimited)")
 	flag.Parse()
 	common.Apply("adascale-serve")
 
@@ -79,6 +100,20 @@ func main() {
 
 	sys := adascale.Build(ds, adascale.DefaultBuildConfig())
 	fmt.Printf("system ready: regressor %v\n", sys.Regressor)
+
+	if *httpAddr != "" {
+		serveHTTP(sys, server.Config{
+			Seed:          common.Seed,
+			Workers:       common.Workers,
+			QueueDepth:    *queue,
+			MaxStreams:    *maxStreams,
+			TenantStreams: *tenantStreams,
+			SLOMS:         *sloMS,
+			Rate:          server.RateLimit{RPS: *rateLimit, Burst: *burst},
+			Resilient:     adascale.DefaultResilientConfig(),
+		}, *httpAddr, fail)
+		return
+	}
 
 	content := ds.Val
 	if *faultRate > 0 {
@@ -186,4 +221,53 @@ func main() {
 	}
 
 	common.WriteTrace("adascale-serve")
+}
+
+// serveHTTP runs the network serving mode: listen, serve the API, drain
+// gracefully on SIGTERM/SIGINT, and account for every admitted frame.
+func serveHTTP(sys *adascale.System, cfg server.Config, addr string, fail func(error)) {
+	srv, err := server.New(sys.Detector, sys.Regressor, cfg)
+	if err != nil {
+		fail(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	// The resolved address line is the contract scripts/http-smoke.sh (and
+	// any operator using :0) parse to find the ephemeral port.
+	fmt.Printf("http: listening on %s\n", ln.Addr())
+
+	ctx, stop := cli.SignalContext(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills a wedged drain
+		fmt.Println("http: signal received, draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err = srv.Shutdown(shutdownCtx)
+		cancel()
+		if err != nil {
+			fail(fmt.Errorf("shutdown: %w", err))
+		}
+		if serveErr := <-done; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			fail(serveErr)
+		}
+	case err := <-done:
+		stop()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	}
+
+	offered, served, dropped := srv.Stats()
+	fmt.Printf("drain: offered=%d served=%d dropped=%d lost=%d\n",
+		offered, served, dropped, offered-served-dropped)
+	fmt.Printf("\n=== final metrics ===\n")
+	fmt.Print(srv.Metrics().Snapshot())
+	if lost := offered - served - dropped; lost != 0 {
+		fail(fmt.Errorf("drain lost %d admitted frames", lost))
+	}
 }

@@ -1,0 +1,17 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on SIGTERM or SIGINT — the
+// graceful-drain trigger for long-running commands (adascale-serve -http).
+// Callers should invoke the stop function as soon as the context fires:
+// that restores default signal handling, so a second signal during a
+// wedged drain kills the process instead of being swallowed.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, syscall.SIGTERM, syscall.SIGINT, os.Interrupt)
+}

@@ -4,27 +4,42 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
 
+// PprofMux returns a dedicated mux carrying only the /debug/pprof
+// handlers. The debug surface must never ride on http.DefaultServeMux:
+// serving the default mux would expose every handler any imported package
+// happens to register there, and — now that the process can also run the
+// internal/server API — risks colliding with or leaking application
+// routes onto the profiler port. A private mux keeps the two surfaces
+// disjoint by construction.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
 // StartPprof binds a net/http/pprof server on addr (e.g. "localhost:6060",
 // or "localhost:0" for an ephemeral port) and serves it on a background
-// goroutine. It returns the bound address so callers using port 0 can
-// print where the profiler actually lives. The server runs for the life of
-// the process — these are short-lived CLI tools, so there is no shutdown
-// path.
+// goroutine, on its own mux (PprofMux) rather than DefaultServeMux. It
+// returns the bound address so callers using port 0 can print where the
+// profiler actually lives. The server runs for the life of the process —
+// these are short-lived CLI tools, so there is no shutdown path.
 func StartPprof(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obs: pprof listen %s: %w", addr, err)
 	}
 	go func() {
-		// DefaultServeMux carries the /debug/pprof handlers registered by
-		// the net/http/pprof import.
-		_ = http.Serve(ln, nil)
+		_ = http.Serve(ln, PprofMux())
 	}()
 	return ln.Addr().String(), nil
 }

@@ -22,6 +22,29 @@ func TestStartPprofServes(t *testing.T) {
 	}
 }
 
+// TestPprofMuxIsolated pins the dedicated-mux contract: a handler
+// registered on http.DefaultServeMux must not be reachable through the
+// pprof server, and the pprof mux itself serves nothing but /debug/pprof —
+// so the debug surface can never leak onto (or collide with) an API
+// server's routes.
+func TestPprofMuxIsolated(t *testing.T) {
+	http.DefaultServeMux.HandleFunc("/obs-test-canary", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	addr, err := StartPprof("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/obs-test-canary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("canary on DefaultServeMux reachable via pprof server: status %d", resp.StatusCode)
+	}
+}
+
 func TestStartPprofBadAddr(t *testing.T) {
 	if _, err := StartPprof("256.256.256.256:99999"); err == nil {
 		t.Fatal("want error for unusable address")

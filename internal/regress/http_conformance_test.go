@@ -1,0 +1,86 @@
+package regress
+
+// The HTTP serving front end's golden conformance: each committed request
+// script under testdata/http/ is replayed through the full handler chain
+// (httptest, no sockets) against a synchronous server on a scripted clock,
+// at workers 1 and 4, and the transcript — every status, every JSON body,
+// the drain accounting line and the canonicalised /metrics scrape — must
+// reproduce the committed golden byte for byte. This is the end-to-end
+// determinism contract of internal/server: responses are a pure function
+// of (script, config, trained system), never of goroutine interleaving or
+// wall time.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adascale/internal/adascale"
+	"adascale/internal/server"
+)
+
+// httpConformanceCases pairs each committed script with the server
+// configuration it exercises. Workers stays 0 so the AtWorkers matrix
+// actually varies the compute pool size.
+var httpConformanceCases = []struct {
+	name string
+	cfg  server.Config
+}{
+	{
+		name: "basic",
+		cfg: server.Config{
+			Seed: 11,
+			Sync: true,
+		},
+	},
+	{
+		name: "limits",
+		cfg: server.Config{
+			Seed:          11,
+			Sync:          true,
+			QueueDepth:    2,
+			MaxStreams:    2,
+			TenantStreams: 1,
+			SLOMS:         100,
+			Rate:          server.RateLimit{RPS: 1, Burst: 2},
+		},
+	},
+}
+
+// TestGoldenHTTPReplay replays every committed request script and pins the
+// full transcript.
+func TestGoldenHTTPReplay(t *testing.T) {
+	b := conformanceBundle(t)
+	sys := b.DefaultSystem()
+	for _, tc := range httpConformanceCases {
+		t.Run(tc.name, func(t *testing.T) {
+			script, err := os.ReadFile(filepath.Join("testdata", "http", tc.name+".script"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps, err := server.ParseScript(string(script))
+			if err != nil {
+				t.Fatal(err)
+			}
+			transcript := AtWorkers(t, func() string {
+				cfg := tc.cfg
+				cfg.Clock = server.NewScriptClock()
+				cfg.Resilient = adascale.DefaultResilientConfig()
+				srv, err := server.New(sys.Detector, sys.Regressor, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := srv.Replay(steps, cfg.Clock.(*server.ScriptClock))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			})
+			if !strings.Contains(transcript, "lost=0") {
+				t.Fatalf("transcript drain line does not show zero loss:\n%s", transcript)
+			}
+			Golden(t, "http_"+tc.name, transcript)
+		})
+	}
+}

@@ -148,12 +148,12 @@ func (l *eventLoop) arrive(ev event) {
 	if l.sup != nil {
 		depth = l.sup.queueDepth(l.clockMS, depth)
 	}
-	if dropped := s.push(queuedFrame{frame: tf.Frame, arrivalMS: tf.ArrivalMS}, depth); dropped != nil {
+	if dropped := s.push(queuedFrame{Frame: tf.Frame, ArrivalMS: tf.ArrivalMS}, depth); dropped != nil {
 		l.metrics.Inc("frames/dropped", 1)
 		l.metrics.Inc(fmt.Sprintf("stream/%d/dropped", s.id), 1)
 	}
-	l.metrics.Observe("queue/depth", float64(len(s.queue)))
-	l.metrics.SetMax("queue/peak_depth", float64(len(s.queue)))
+	l.metrics.Observe("queue/depth", float64(s.queue.Len()))
+	l.metrics.SetMax("queue/peak_depth", float64(s.queue.Len()))
 	l.dispatch()
 }
 
@@ -201,7 +201,7 @@ func (l *eventLoop) dispatch() {
 			if !s.ready() {
 				continue
 			}
-			if best < 0 || s.queue[0].arrivalMS < l.sessions[best].queue[0].arrivalMS {
+			if best < 0 || s.queue.Head().ArrivalMS < l.sessions[best].queue.Head().ArrivalMS {
 				best = i
 			}
 		}
@@ -244,12 +244,12 @@ func (l *eventLoop) dispatchShed(i int) {
 	} else {
 		qf := s.pop()
 		inf = &inflightFrame{
-			frame: qf.frame, plan: s.sess.Plan(qf.frame),
-			arrivalMS: qf.arrivalMS, startMS: l.clockMS,
+			frame: qf.Frame, plan: s.sess.Plan(qf.Frame),
+			arrivalMS: qf.ArrivalMS, startMS: l.clockMS,
 			worker: anonSlot, firstFailMS: -1,
 		}
 		s.inflight = inf
-		l.metrics.Observe("queue/wait_ms", l.clockMS-qf.arrivalMS)
+		l.metrics.Observe("queue/wait_ms", l.clockMS-qf.ArrivalMS)
 	}
 	inf.shed, inf.probe = true, false
 	inf.res = nil
@@ -284,16 +284,16 @@ func (l *eventLoop) retryCandidate() int {
 func (l *eventLoop) start(i, w int) {
 	s := l.sessions[i]
 	qf := s.pop()
-	plan := s.sess.Plan(qf.frame)
+	plan := s.sess.Plan(qf.Frame)
 	inf := &inflightFrame{
-		frame: qf.frame, plan: plan, arrivalMS: qf.arrivalMS, startMS: l.clockMS,
+		frame: qf.Frame, plan: plan, arrivalMS: qf.ArrivalMS, startMS: l.clockMS,
 		worker: anonSlot, firstFailMS: -1,
 	}
 	if !plan.Skip {
-		inf.serviceMS = simclock.DetectMS(qf.frame.W, qf.frame.H, plan.Scale) + s.sess.Overhead() + plan.JitterMS
+		inf.serviceMS = simclock.DetectMS(qf.Frame.W, qf.Frame.H, plan.Scale) + s.sess.Overhead() + plan.JitterMS
 	}
 	s.inflight = inf
-	l.metrics.Observe("queue/wait_ms", l.clockMS-qf.arrivalMS)
+	l.metrics.Observe("queue/wait_ms", l.clockMS-qf.ArrivalMS)
 	l.dispatchInflight(i, w, inf)
 }
 

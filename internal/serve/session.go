@@ -15,8 +15,8 @@ type session struct {
 	sess *adascale.ResilientSession
 
 	// queue is the bounded per-stream FIFO of frames that have arrived
-	// but not been dispatched. cap(queue) is the configured depth.
-	queue []queuedFrame
+	// but not been dispatched, with the configured depth enforced at push.
+	queue FrameQueue
 
 	// inflight is non-nil while one frame of this stream is being served;
 	// streams are strictly sequential (frame k+1's scale depends on frame
@@ -28,11 +28,9 @@ type session struct {
 	sloMiss int
 }
 
-// queuedFrame is one enqueued arrival.
-type queuedFrame struct {
-	frame     *synth.Frame
-	arrivalMS float64
-}
+// queuedFrame is one enqueued arrival (an alias for the exported queue
+// entry; the scheduler predates the shared FrameQueue).
+type queuedFrame = QueuedFrame
 
 // inflightFrame tracks a frame from its first dispatch until its
 // completion event — across retries, when the supervision layer is active.
@@ -73,29 +71,18 @@ type computeResult struct {
 	regWallMS float64
 }
 
-// push enqueues an arrival under the bounded drop-oldest policy and
-// reports the dropped frame, if any. Dropping the oldest (not the newest)
-// is the right policy for live video: the newest frame is the one closest
-// to the present, and AdaScale's temporal consistency recovers from a gap
-// faster than from serving stale frames late.
+// push enqueues an arrival under the shared bounded drop-oldest policy
+// (FrameQueue, queue.go) and reports the dropped frame, if any, recording
+// it in the session's drop list.
 func (s *session) push(f queuedFrame, depth int) (dropped *synth.Frame) {
-	if len(s.queue) >= depth {
-		dropped = s.queue[0].frame
+	if dropped = s.queue.Push(f, depth); dropped != nil {
 		s.dropped = append(s.dropped, dropped)
-		copy(s.queue, s.queue[1:])
-		s.queue = s.queue[:len(s.queue)-1]
 	}
-	s.queue = append(s.queue, f)
 	return dropped
 }
 
 // pop removes and returns the head of the queue.
-func (s *session) pop() queuedFrame {
-	f := s.queue[0]
-	copy(s.queue, s.queue[1:])
-	s.queue = s.queue[:len(s.queue)-1]
-	return f
-}
+func (s *session) pop() queuedFrame { return s.queue.Pop() }
 
 // ready reports whether the session has a dispatchable frame.
-func (s *session) ready() bool { return s.inflight == nil && len(s.queue) > 0 }
+func (s *session) ready() bool { return s.inflight == nil && s.queue.Len() > 0 }

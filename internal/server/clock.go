@@ -1,0 +1,65 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// The clock bridge is the determinism boundary of the HTTP front end. The
+// scheduler core underneath (internal/serve, internal/adascale,
+// internal/simclock) lives entirely in virtual milliseconds; the transport
+// has to stamp each arriving frame with *some* instant on that clock. A
+// real deployment stamps wall time since process start (WallClock); the
+// handler golden tests stamp scripted instants (ScriptClock), which makes
+// every response — admission acks, results, even the /metrics scrape — a
+// pure function of the recorded request script. Nothing below the bridge
+// ever reads the wall clock.
+
+// Clock maps transport arrivals onto the virtual serving clock.
+type Clock interface {
+	// NowMS returns the current instant in virtual milliseconds. It must
+	// be monotonically non-decreasing and safe for concurrent use.
+	NowMS() float64
+}
+
+// WallClock is the production bridge: virtual time is wall time elapsed
+// since construction, in milliseconds.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock starts a wall-clock bridge at virtual time zero.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// NowMS implements Clock.
+func (c *WallClock) NowMS() float64 {
+	return float64(time.Since(c.start)) / float64(time.Millisecond)
+}
+
+// ScriptClock is the deterministic bridge for tests and recorded request
+// scripts: time advances only when the script says so.
+type ScriptClock struct {
+	mu    sync.Mutex
+	nowMS float64
+}
+
+// NewScriptClock starts a scripted clock at virtual time zero.
+func NewScriptClock() *ScriptClock { return &ScriptClock{} }
+
+// NowMS implements Clock.
+func (c *ScriptClock) NowMS() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nowMS
+}
+
+// AdvanceTo moves the clock forward to ms. Moves backwards are ignored —
+// the bridge contract is monotonic, so a script that rewinds time is
+// clamped rather than breaking every latency computation downstream.
+func (c *ScriptClock) AdvanceTo(ms float64) {
+	c.mu.Lock()
+	if ms > c.nowMS {
+		c.nowMS = ms
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"adascale/internal/detect"
+	"adascale/internal/raster"
+	"adascale/internal/synth"
+)
+
+// This file is the frame-ingestion wire format: the JSON a camera client
+// POSTs to /v1/streams/{id}/frames, its decoder, and the bridge into
+// synth.NewFrame. The decoder is strict — unknown fields, non-finite
+// numbers, out-of-range geometry and oversized batches are all typed
+// errors, never best-effort repairs — because everything it accepts flows
+// straight into the detector on a pool worker, and the fuzz harness
+// (FuzzIngestDecode) holds it to "reject or serve, never panic".
+
+// Ingestion bounds. They cap the work one request can buy: frames per
+// batch, objects per frame, and frame geometry the rasteriser and the
+// simclock cost model are calibrated for.
+const (
+	MaxFramesPerRequest = 256
+	MaxObjectsPerFrame  = 64
+	MaxFrameDim         = 4096
+	MinFrameDim         = 16
+	maxBodyBytes        = 1 << 20 // request bodies beyond 1 MiB are refused
+)
+
+// ObjectSpec is one object of an ingested frame, in native coordinates.
+type ObjectSpec struct {
+	ID        int     `json:"id"`
+	Class     int     `json:"class"`
+	X1        float64 `json:"x1"`
+	Y1        float64 `json:"y1"`
+	X2        float64 `json:"x2"`
+	Y2        float64 `json:"y2"`
+	Texture   int     `json:"texture,omitempty"`   // raster.Texture ordinal (0..4)
+	Intensity float64 `json:"intensity,omitempty"` // [0, 1]; 0 means default 0.8
+	Speed     float64 `json:"speed,omitempty"`     // native px/frame, drives blur
+}
+
+// FrameSpec is one ingested frame: geometry, content and rendering
+// parameters. The deterministic randomness base is *not* on the wire — it
+// derives from (server seed, stream, index), so a replayed request script
+// reproduces detections exactly.
+type FrameSpec struct {
+	W       int          `json:"w"`
+	H       int          `json:"h"`
+	Clutter float64      `json:"clutter,omitempty"` // [0, 1]
+	Blur    float64      `json:"blur,omitempty"`    // native px, [0, 64]
+	Objects []ObjectSpec `json:"objects,omitempty"`
+}
+
+// IngestRequest is the body of POST /v1/streams/{id}/frames.
+type IngestRequest struct {
+	Frames []FrameSpec `json:"frames"`
+}
+
+// RequestError is the typed error the decoders return for a rejected
+// request body, so handlers can map it to 400 with the offending field.
+type RequestError struct {
+	Field  string // which part of the request was rejected
+	Reason string // why
+}
+
+// Error implements the error interface.
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("server: invalid request: %s: %s", e.Field, e.Reason)
+}
+
+// finite reports whether v is a usable number (not NaN or ±Inf).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// DecodeIngest parses and validates a frame-ingestion body against the
+// serving system's class vocabulary. It returns a typed *RequestError on
+// any rejection; a nil error guarantees every frame in the request is safe
+// to hand to the detector.
+func DecodeIngest(body []byte, numClasses int) (*IngestRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req IngestRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, &RequestError{Field: "body", Reason: err.Error()}
+	}
+	// A second document after the first is a malformed request, not
+	// trailing noise to ignore.
+	if dec.More() {
+		return nil, &RequestError{Field: "body", Reason: "trailing data after JSON document"}
+	}
+	if len(req.Frames) == 0 {
+		return nil, &RequestError{Field: "frames", Reason: "empty batch"}
+	}
+	if len(req.Frames) > MaxFramesPerRequest {
+		return nil, &RequestError{Field: "frames", Reason: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Frames), MaxFramesPerRequest)}
+	}
+	for i := range req.Frames {
+		if err := validateFrame(&req.Frames[i], i, numClasses); err != nil {
+			return nil, err
+		}
+	}
+	return &req, nil
+}
+
+// validateFrame checks one frame spec; i names it in errors.
+func validateFrame(f *FrameSpec, i, numClasses int) error {
+	bad := func(field, format string, args ...any) error {
+		return &RequestError{Field: fmt.Sprintf("frames[%d].%s", i, field), Reason: fmt.Sprintf(format, args...)}
+	}
+	if f.W < MinFrameDim || f.W > MaxFrameDim {
+		return bad("w", "width %d outside [%d, %d]", f.W, MinFrameDim, MaxFrameDim)
+	}
+	if f.H < MinFrameDim || f.H > MaxFrameDim {
+		return bad("h", "height %d outside [%d, %d]", f.H, MinFrameDim, MaxFrameDim)
+	}
+	if !finite(f.Clutter) || f.Clutter < 0 || f.Clutter > 1 {
+		return bad("clutter", "%v outside [0, 1]", f.Clutter)
+	}
+	if !finite(f.Blur) || f.Blur < 0 || f.Blur > 64 {
+		return bad("blur", "%v outside [0, 64]", f.Blur)
+	}
+	if len(f.Objects) > MaxObjectsPerFrame {
+		return bad("objects", "%d objects exceed limit %d", len(f.Objects), MaxObjectsPerFrame)
+	}
+	for j, o := range f.Objects {
+		obad := func(field, format string, args ...any) error {
+			return bad(fmt.Sprintf("objects[%d].%s", j, field), format, args...)
+		}
+		if o.Class < 0 || o.Class >= numClasses {
+			return obad("class", "class %d outside the serving system's %d classes", o.Class, numClasses)
+		}
+		for _, c := range [...]struct {
+			name string
+			v    float64
+		}{{"x1", o.X1}, {"y1", o.Y1}, {"x2", o.X2}, {"y2", o.Y2}} {
+			if !finite(c.v) || c.v < -float64(MaxFrameDim) || c.v > 2*float64(MaxFrameDim) {
+				return obad(c.name, "coordinate %v not finite or far outside the frame", c.v)
+			}
+		}
+		if o.X2 <= o.X1 || o.Y2 <= o.Y1 {
+			return obad("x2", "degenerate box [%v,%v,%v,%v]", o.X1, o.Y1, o.X2, o.Y2)
+		}
+		if o.Texture < int(raster.TextureSolid) || o.Texture > int(raster.TextureDots) {
+			return obad("texture", "texture %d outside [0, %d]", o.Texture, int(raster.TextureDots))
+		}
+		if !finite(o.Intensity) || o.Intensity < 0 || o.Intensity > 1 {
+			return obad("intensity", "%v outside [0, 1]", o.Intensity)
+		}
+		if !finite(o.Speed) || o.Speed < 0 || o.Speed > 1000 {
+			return obad("speed", "%v outside [0, 1000]", o.Speed)
+		}
+	}
+	return nil
+}
+
+// frame materialises the validated spec as a synth.Frame for (stream,
+// index), deriving the deterministic randomness base from the server seed.
+func (f *FrameSpec) frame(seed int64, stream, index int) *synth.Frame {
+	objs := make([]synth.Object, len(f.Objects))
+	for j, o := range f.Objects {
+		intensity := o.Intensity
+		if intensity == 0 {
+			intensity = 0.8
+		}
+		objs[j] = synth.Object{
+			ID:        o.ID,
+			Class:     o.Class,
+			Box:       detect.Box{X1: o.X1, Y1: o.Y1, X2: o.X2, Y2: o.Y2},
+			Texture:   raster.Texture(o.Texture),
+			Intensity: float32(intensity),
+			Speed:     o.Speed,
+		}
+	}
+	fr := synth.NewFrame(seed, synth.FrameSpec{
+		Stream: stream, Index: index,
+		W: f.W, H: f.H,
+		Objects: objs,
+		Clutter: f.Clutter,
+		Blur:    f.Blur,
+	})
+	return &fr
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"testing"
+)
+
+// FuzzIngestDecode holds the ingestion decoder to "reject or accept, never
+// panic": whatever bytes arrive on the wire, DecodeIngest either returns a
+// typed *RequestError or an IngestRequest every frame of which survives
+// the full validation gauntlet — the property that makes it safe to hand
+// decoded frames straight to the detector.
+func FuzzIngestDecode(f *testing.F) {
+	seeds := []string{
+		`{"frames":[{"w":320,"h":240}]}`,
+		`{"frames":[{"w":64,"h":64,"clutter":0.5,"blur":2,"objects":[{"id":1,"class":0,"x1":4,"y1":4,"x2":40,"y2":40,"texture":1,"intensity":0.7,"speed":3}]}]}`,
+		`{"frames":[]}`,
+		`{"frames":[{"w":8,"h":8}]}`,
+		`{"frames":[{"w":64,"h":64,"objects":[{"class":99,"x1":0,"y1":0,"x2":1,"y2":1}]}]}`,
+		`{"frames":[{"w":64,"h":64,"clutter":1e308}]}`,
+		`not json at all`,
+		`{"frames":[{"w":64,"h":64}]}{"frames":[{"w":64,"h":64}]}`,
+		`{"frames":[{"w":64,"h":64,"unknown":true}]}`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeIngest(data, testClasses)
+		if err != nil {
+			if req != nil {
+				t.Fatal("error with non-nil request")
+			}
+			if _, ok := err.(*RequestError); !ok {
+				t.Fatalf("decode error is not a *RequestError: %T %v", err, err)
+			}
+			return
+		}
+		// Accepted input must be fully materialisable: every frame builds
+		// without panicking and respects the validated bounds.
+		if len(req.Frames) == 0 || len(req.Frames) > MaxFramesPerRequest {
+			t.Fatalf("accepted batch of %d frames", len(req.Frames))
+		}
+		for i := range req.Frames {
+			fs := &req.Frames[i]
+			if fs.W < MinFrameDim || fs.W > MaxFrameDim || fs.H < MinFrameDim || fs.H > MaxFrameDim {
+				t.Fatalf("accepted frame %d with geometry %dx%d", i, fs.W, fs.H)
+			}
+			fr := fs.frame(1, 0, i)
+			if fr.W != fs.W || fr.H != fs.H || len(fr.Objects) != len(fs.Objects) {
+				t.Fatalf("materialised frame diverges from spec: %+v vs %+v", fr, fs)
+			}
+			for _, o := range fr.Objects {
+				if o.Class < 0 || o.Class >= testClasses {
+					t.Fatalf("accepted class %d outside vocabulary", o.Class)
+				}
+			}
+		}
+	})
+}

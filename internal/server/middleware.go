@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Middleware for the serving front end. The chain, outermost first, is
+// recovery → logging → rate limiting: a panic anywhere below becomes a
+// 503 instead of a dead connection, every request lands in the obs
+// registry whatever its fate, and tenants are throttled before their
+// request touches the engine.
+
+// recoverMiddleware converts handler panics into 503 responses and counts
+// them, mirroring the compute pool's panic containment: one bad request
+// must not take down the server or silently close the connection.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.Inc("http/panic", 1)
+				writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("internal panic: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusRecorder captures the status code a handler wrote so the logging
+// middleware can bucket it after the fact.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// logMiddleware records every request into the obs registry: a total
+// counter, a per-status-class counter, and (under a deterministic clock)
+// nothing that would perturb golden replays — virtual timestamps come from
+// the same bridge as frame arrivals, so no wall time leaks in.
+func (s *Server) logMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.metrics.Inc("http/requests", 1)
+		s.metrics.Inc(fmt.Sprintf("http/status/%dxx", rec.status/100), 1)
+	})
+}
+
+// tenantLimiter applies a token bucket per tenant, refilled from the clock
+// bridge. Virtual time, not wall time, drives refill — so under a
+// ScriptClock the limiter's decisions are part of the recorded script,
+// and under a WallClock it behaves like any production limiter.
+type tenantLimiter struct {
+	rate  RateLimit
+	clock Clock
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64 // current fill, <= Burst
+	lastMS float64 // virtual instant of the last refill
+}
+
+func newTenantLimiter(rate RateLimit, clock Clock) *tenantLimiter {
+	return &tenantLimiter{rate: rate, clock: clock, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from tenant's bucket, reporting whether one was
+// available. A zero-RPS limiter admits everything.
+func (l *tenantLimiter) allow(tenant string) bool {
+	if l.rate.RPS <= 0 {
+		return true
+	}
+	now := l.clock.NowMS()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		// A new tenant starts with a full burst.
+		b = &bucket{tokens: float64(l.rate.Burst), lastMS: now}
+		l.buckets[tenant] = b
+	}
+	refill := (now - b.lastMS) / 1000 * l.rate.RPS
+	if refill > 0 {
+		b.tokens += refill
+		if max := float64(l.rate.Burst); b.tokens > max {
+			b.tokens = max
+		}
+		b.lastMS = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// rateLimitMiddleware throttles admission and ingestion per tenant. The
+// tenant is taken from the X-Tenant header on ingestion/results routes and
+// from the admission body by the admission handler itself — so here,
+// header-less requests fall into the shared "" bucket.
+func (s *Server) rateLimitMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.limiter.allow(r.Header.Get("X-Tenant")) {
+			s.metrics.Inc("ratelimit/throttled", 1)
+			writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// chain applies the standard middleware stack to the API routes.
+func (s *Server) chain(h http.Handler) http.Handler {
+	return s.recoverMiddleware(s.logMiddleware(s.rateLimitMiddleware(h)))
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Recorded request scripts: the replay format the handler golden tests
+// run. A script is plain text —
+//
+//	# comment                      (ignored, as are blank lines between requests)
+//	@250                           advance the ScriptClock to 250 virtual ms
+//	DRAIN                          begin graceful drain (the SIGTERM path)
+//	POST /v1/streams tenant=cam    one request; optional tenant= sets X-Tenant
+//	{"tenant":"cam"}               body lines until the next blank line
+//
+// Replay drives each request through the server's full middleware chain
+// via httptest (no sockets) and appends to a transcript:
+//
+//	### POST /v1/streams
+//	201
+//	{"stream_id":0,...}
+//
+// Under a ScriptClock and a Sync server, the transcript is a pure
+// function of (script, config, trained system) — which is exactly what
+// the committed goldens in internal/regress assert, at every worker
+// count.
+
+// ScriptStep is one parsed directive of a request script.
+type ScriptStep struct {
+	// Exactly one of the following shapes is set.
+	AdvanceMS float64 // valid when Advance
+	Advance   bool
+	Drain     bool
+
+	Method string
+	Path   string
+	Tenant string // optional X-Tenant header
+	Body   string
+}
+
+// ParseScript parses the replay format. Errors name the offending line.
+func ParseScript(text string) ([]ScriptStep, error) {
+	lines := strings.Split(text, "\n")
+	var steps []ScriptStep
+	for i := 0; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, "@"):
+			ms, err := strconv.ParseFloat(line[1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("script line %d: bad clock directive %q: %v", i+1, line, err)
+			}
+			steps = append(steps, ScriptStep{Advance: true, AdvanceMS: ms})
+		case line == "DRAIN":
+			steps = append(steps, ScriptStep{Drain: true})
+		default:
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("script line %d: want `METHOD PATH [tenant=...]`, got %q", i+1, line)
+			}
+			step := ScriptStep{Method: fields[0], Path: fields[1]}
+			for _, f := range fields[2:] {
+				t, ok := strings.CutPrefix(f, "tenant=")
+				if !ok {
+					return nil, fmt.Errorf("script line %d: unknown request attribute %q", i+1, f)
+				}
+				step.Tenant = t
+			}
+			// Body: subsequent non-directive lines up to the next blank line.
+			var body []string
+			for i+1 < len(lines) {
+				next := lines[i+1]
+				if strings.TrimSpace(next) == "" {
+					break
+				}
+				body = append(body, next)
+				i++
+			}
+			step.Body = strings.Join(body, "\n")
+			steps = append(steps, step)
+		}
+	}
+	return steps, nil
+}
+
+// Replay runs a parsed script against the server's handler and returns the
+// transcript. clock may be nil when the script has no @ directives.
+func (s *Server) Replay(steps []ScriptStep, clock *ScriptClock) (string, error) {
+	var b strings.Builder
+	h := s.Handler()
+	for _, step := range steps {
+		switch {
+		case step.Advance:
+			if clock == nil {
+				return "", fmt.Errorf("script advances the clock but no ScriptClock was supplied")
+			}
+			clock.AdvanceTo(step.AdvanceMS)
+		case step.Drain:
+			s.Drain()
+			fmt.Fprintf(&b, "### DRAIN\n")
+			offered, served, dropped := s.Stats()
+			fmt.Fprintf(&b, "offered=%d served=%d dropped=%d lost=%d\n\n",
+				offered, served, dropped, offered-served-dropped)
+		default:
+			req := httptest.NewRequest(step.Method, step.Path, strings.NewReader(step.Body))
+			if step.Tenant != "" {
+				req.Header.Set("X-Tenant", step.Tenant)
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			fmt.Fprintf(&b, "### %s %s\n%d\n", step.Method, step.Path, rec.Code)
+			body := rec.Body.String()
+			if step.Path == "/metrics" {
+				body = CanonMetrics(body)
+			}
+			b.WriteString(body)
+			if !strings.HasSuffix(body, "\n") {
+				b.WriteString("\n")
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}
+
+// CanonMetrics canonicalises a /metrics body for transcripts: histogram
+// summaries over wall-clock-free data are already deterministic, but the
+// exposition as a whole is only stable if line order is — so sort the
+// lines within each metric family block, keeping HELP/TYPE headers first.
+// Under a ScriptClock the body is already deterministic; canonicalising
+// anyway makes the goldens robust to map-iteration-order refactors in the
+// renderer.
+func CanonMetrics(body string) string {
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	type family struct {
+		header []string // # HELP / # TYPE lines, original order
+		sample []string
+	}
+	var fams []*family
+	cur := &family{}
+	flush := func() {
+		if len(cur.header) > 0 || len(cur.sample) > 0 {
+			sort.Strings(cur.sample)
+			fams = append(fams, cur)
+			cur = &family{}
+		}
+	}
+	for _, l := range lines {
+		if strings.HasPrefix(l, "# HELP") {
+			flush()
+			cur.header = append(cur.header, l)
+			continue
+		}
+		if strings.HasPrefix(l, "#") {
+			cur.header = append(cur.header, l)
+			continue
+		}
+		cur.sample = append(cur.sample, l)
+	}
+	flush()
+	var b strings.Builder
+	for _, f := range fams {
+		for _, l := range f.header {
+			b.WriteString(l)
+			b.WriteString("\n")
+		}
+		for _, l := range f.sample {
+			b.WriteString(l)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// ReplayScript parses and replays text in one call.
+func (s *Server) ReplayScript(text string, clock *ScriptClock) (string, error) {
+	steps, err := ParseScript(text)
+	if err != nil {
+		return "", err
+	}
+	return s.Replay(steps, clock)
+}

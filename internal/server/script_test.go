@@ -1,0 +1,68 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScript(t *testing.T) {
+	steps, err := ParseScript(`# a comment
+@100
+POST /v1/streams tenant=cam
+{"tenant":"cam",
+ "slo_ms":500}
+
+GET /healthz
+
+DRAIN
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("parsed %d steps, want 4: %+v", len(steps), steps)
+	}
+	if !steps[0].Advance || steps[0].AdvanceMS != 100 {
+		t.Fatalf("step 0: %+v", steps[0])
+	}
+	if steps[1].Method != "POST" || steps[1].Tenant != "cam" || !strings.Contains(steps[1].Body, "slo_ms") {
+		t.Fatalf("step 1: %+v", steps[1])
+	}
+	if steps[2].Method != "GET" || steps[2].Body != "" {
+		t.Fatalf("step 2: %+v", steps[2])
+	}
+	if !steps[3].Drain {
+		t.Fatalf("step 3: %+v", steps[3])
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	for _, bad := range []string{
+		"@notanumber\n",
+		"POST\n",
+		"POST /v1/streams wat=1\n",
+	} {
+		if _, err := ParseScript(bad); err == nil {
+			t.Fatalf("ParseScript(%q) accepted a malformed script", bad)
+		}
+	}
+}
+
+func TestReplayNeedsClockForAdvance(t *testing.T) {
+	srv := newServer(t, Config{Workers: 1, Sync: true, Clock: NewScriptClock()})
+	if _, err := srv.ReplayScript("@10\n", nil); err == nil {
+		t.Fatal("Replay accepted a clock advance with no ScriptClock")
+	}
+}
+
+func TestCanonMetricsSortsWithinFamilies(t *testing.T) {
+	in := "# HELP m counter x\n# TYPE m counter\nm_b 2\nm_a 1\n# HELP n gauge y\n# TYPE n gauge\nn 3\n"
+	want := "# HELP m counter x\n# TYPE m counter\nm_a 1\nm_b 2\n# HELP n gauge y\n# TYPE n gauge\nn 3\n"
+	if got := CanonMetrics(in); got != want {
+		t.Fatalf("CanonMetrics:\n%q\nwant\n%q", got, want)
+	}
+	// Idempotent, and stable on already-sorted input.
+	if got := CanonMetrics(want); got != want {
+		t.Fatalf("CanonMetrics not idempotent:\n%q", got)
+	}
+}

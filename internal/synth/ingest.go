@@ -1,0 +1,44 @@
+package synth
+
+// This file is the externally-fed frame constructor: the HTTP ingestion
+// path (internal/server) receives frame *content* over the network —
+// geometry, objects, clutter, blur — but the behavioural detector also
+// needs each frame's deterministic randomness base (Seed/TrackSeed), which
+// generated frames derive from (dataset seed, snippet, index). NewFrame
+// gives ingested frames the same property: the seeds are a pure function
+// of (seed, stream, index), so a served stream's detections are a
+// deterministic function of the admitted requests — the invariant the
+// handler-layer golden tests replay byte for byte.
+
+// FrameSpec is the externally-supplied content of one ingested frame.
+// Stream plays the role a snippet ID plays for generated frames: it keys
+// the track-consistency seed, so frames of one stream fail coherently
+// (a detector that misses a hard object keeps missing it on neighbouring
+// frames) just like frames of one generated snippet do.
+type FrameSpec struct {
+	Stream int
+	Index  int
+	W, H   int
+
+	Objects []Object
+	Clutter float64
+	Blur    float64
+}
+
+// NewFrame builds a frame from externally-supplied content, deriving the
+// deterministic randomness base exactly the way generated frames derive
+// theirs: per-frame seed from (seed, stream, index), track seed shared by
+// every frame of the stream.
+func NewFrame(seed int64, spec FrameSpec) Frame {
+	return Frame{
+		SnippetID: spec.Stream,
+		Index:     spec.Index,
+		W:         spec.W,
+		H:         spec.H,
+		Objects:   spec.Objects,
+		Clutter:   spec.Clutter,
+		Blur:      spec.Blur,
+		seed:      frameSeed(seed, spec.Stream, spec.Index),
+		trackSeed: frameSeed(seed, spec.Stream, -1),
+	}
+}

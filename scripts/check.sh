@@ -65,6 +65,7 @@ gate "go-test-race" go test -race -shuffle=on -timeout 60m ./...
 gate "fuzz-nms" go test -run='^$' -fuzz='^FuzzNMS$' -fuzztime=5s ./internal/detect
 gate "fuzz-evaluate" go test -run='^$' -fuzz='^FuzzEvaluate$' -fuzztime=5s ./internal/eval
 gate "fuzz-loadgen" go test -run='^$' -fuzz='^FuzzLoadgen$' -fuzztime=5s ./internal/serve
+gate "fuzz-ingest" go test -run='^$' -fuzz='^FuzzIngestDecode$' -fuzztime=5s ./internal/server
 
 # End-to-end serving gate under the race detector: 200 simulated frames
 # across 4 streams at an unloaded rate must serve with zero drops and a
@@ -77,6 +78,12 @@ gate "serve-smoke" go run -race ./cmd/adascale-serve -streams 4 -frames 50 -rate
 # default parallelism, once at GOMAXPROCS=1 — asserting zero lost
 # streams/frames and byte-identical output across the two runs.
 gate "chaos-smoke" ./scripts/chaos-smoke.sh
+
+# HTTP transport gate: boot the network serving mode on an ephemeral port
+# under the race detector, drive the API with curl (admission quotas,
+# typed 400s, ingestion, results, Prometheus /metrics), then SIGTERM and
+# require a graceful drain with zero admitted-frame loss.
+gate "http-smoke" ./scripts/http-smoke.sh
 
 # Benchmark-report gates: the diff tool must localise a synthetic
 # single-stage regression (its self-validation), and the committed
