@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench microbench fuzz-smoke serve-smoke chaos-smoke http-smoke benchdiff golden
+.PHONY: check ci fmt vet build test race bench microbench fuzz-smoke serve-smoke chaos-smoke http-smoke cluster-smoke benchdiff golden
 
-check: fmt vet build race fuzz-smoke serve-smoke chaos-smoke http-smoke benchdiff
+check: fmt vet build race fuzz-smoke serve-smoke chaos-smoke http-smoke cluster-smoke benchdiff
 
 # CI entry point: the same gates as `check` but fail-slow — every gate
 # runs even after a failure so one push reports all breakage at once,
@@ -56,6 +56,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzEvaluate$$ -fuzztime=5s ./internal/eval
 	$(GO) test -run=^$$ -fuzz=^FuzzLoadgen$$ -fuzztime=5s ./internal/serve
 	$(GO) test -run=^$$ -fuzz=^FuzzIngestDecode$$ -fuzztime=5s ./internal/server
+	$(GO) test -run=^$$ -fuzz=^FuzzClusterEvents$$ -fuzztime=5s ./internal/cluster
 
 # End-to-end serving gate under the race detector: 200 simulated frames
 # across 4 streams at an unloaded rate must serve with zero drops and a
@@ -77,6 +78,12 @@ chaos-smoke:
 # drain (offered == served + dropped through shutdown).
 http-smoke:
 	./scripts/http-smoke.sh
+
+# Cluster-scale gate: a 1k-stream / 4-node model-only cluster run under
+# -race, twice — asserting zero lost frames through sharding, blackout
+# failover and migration, and byte-identical reports across the two runs.
+cluster-smoke:
+	./scripts/cluster-smoke.sh
 
 # Benchmark-report gates: the diff tool must localise a synthetic
 # single-stage regression (its own self-validation), and the committed

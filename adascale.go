@@ -34,6 +34,7 @@ import (
 	"math/rand"
 
 	"adascale/internal/adascale"
+	"adascale/internal/cluster"
 	"adascale/internal/detect"
 	"adascale/internal/dff"
 	"adascale/internal/eval"
@@ -418,6 +419,68 @@ func NewHTTPWallClock() *HTTPWallClock { return server.NewWallClock() }
 
 // NewHTTPScriptClock starts a scripted clock at virtual time zero.
 func NewHTTPScriptClock() *HTTPScriptClock { return server.NewScriptClock() }
+
+// Cluster-scale simulation (internal/cluster): shard streams across a
+// fleet of simulated serving nodes on one virtual clock — bounded-load
+// consistent hashing, epoch-based placement, blackout failover carrying
+// session checkpoints, p95-driven autoscaling — with a cluster-wide report
+// that proves the conservation invariant (offered = served + dropped,
+// lost = 0).
+type (
+	// ClusterConfig parameterises a cluster run: initial fleet size,
+	// placement epoch, ring/autoscale policies, the optional event plan,
+	// and the per-node serving template (which must pin Workers).
+	ClusterConfig = cluster.Config
+	// Cluster is the virtual-time fleet simulator.
+	Cluster = cluster.Cluster
+	// ClusterReport is the fleet rollup: frame conservation totals,
+	// membership churn, migrations/failovers, per-node serving lines and
+	// the merged cluster-wide metrics.
+	ClusterReport = cluster.Report
+	// ClusterNodeReport is one node's serving rollup inside the report.
+	ClusterNodeReport = cluster.NodeReport
+	// ClusterAutoscale is the p95-queue-delay-driven fleet sizing policy.
+	ClusterAutoscale = cluster.Autoscale
+	// ClusterRing is the bounded-load consistent-hash ring that assigns
+	// streams to nodes with minimal remapping on membership change.
+	ClusterRing = cluster.Ring
+	// ClusterRingConfig tunes the ring (vnode replicas, load factor, seed).
+	ClusterRingConfig = cluster.RingConfig
+	// ClusterPlan is a seeded, sorted schedule of cluster events.
+	ClusterPlan = cluster.Plan
+	// ClusterEvent is one scheduled cluster event.
+	ClusterEvent = cluster.Event
+	// ClusterEventKind enumerates node join, graceful leave, node blackout
+	// and forced stream migration.
+	ClusterEventKind = cluster.EventKind
+	// ClusterPlanConfig parameterises cluster event-plan generation.
+	ClusterPlanConfig = cluster.PlanConfig
+)
+
+// NewCluster creates a fleet simulator over a trained system. Every node
+// runs the same scheduler + supervisor as NewServer; placement, failover
+// and autoscaling happen at epoch boundaries on the shared virtual clock,
+// so a cluster run is byte-identical across runs and worker counts.
+func NewCluster(det *Detector, reg *Regressor, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(det, reg, cfg)
+}
+
+// NewClusterRing builds an empty bounded-load consistent-hash ring; Add
+// nodes, then Assign keys.
+func NewClusterRing(cfg ClusterRingConfig) *ClusterRing {
+	return cluster.NewRing(cfg)
+}
+
+// GenClusterPlan builds the deterministic cluster event schedule for the
+// config: same seed and config give the identical plan on any machine.
+func GenClusterPlan(cfg ClusterPlanConfig) (*ClusterPlan, error) { return cluster.GenPlan(cfg) }
+
+// DecodeClusterPlan decodes an arbitrary byte string into a structurally
+// valid cluster event plan (total: every input decodes), the adversarial
+// entry point the cluster fuzz harness drives.
+func DecodeClusterPlan(data []byte, nodes, streams int, horizonMS float64) *ClusterPlan {
+	return cluster.DecodePlan(data, nodes, streams, horizonMS)
+}
 
 // Video-acceleration baselines.
 type (

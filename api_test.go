@@ -97,6 +97,70 @@ func TestIoUNMSPublic(t *testing.T) {
 	}
 }
 
+// TestClusterPublicAPI drives the cluster-scale surface exported at the
+// root: build a ring, generate and decode event plans, and run a small
+// sharded fleet that must conserve every offered frame.
+func TestClusterPublicAPI(t *testing.T) {
+	ring := adascale.NewClusterRing(adascale.ClusterRingConfig{Seed: 7})
+	ring.Add(0)
+	ring.Add(1)
+	keys := []int{0, 1, 2, 3, 4, 5}
+	assign := ring.Assign(keys)
+	if len(assign) != len(keys) {
+		t.Fatalf("ring assigned %d of %d keys", len(assign), len(keys))
+	}
+
+	plan, err := adascale.GenClusterPlan(adascale.ClusterPlanConfig{
+		Seed: 3, HorizonMS: 1000, Rate: 2, Nodes: 2, Streams: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatal("nil generated plan")
+	}
+	if counts := adascale.DecodeClusterPlan([]byte{2, 0x20, 0x00, 1, 0, 200}, 2, 4, 1000).Count(); counts[adascale.ClusterEventKind(2)] != 1 {
+		t.Fatal("DecodeClusterPlan dropped the blackout event")
+	}
+
+	cfg := adascale.VIDLike(9)
+	cfg.FramesPerSnippet = 4
+	ds, err := adascale.Generate(cfg, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := adascale.Build(ds, adascale.DefaultBuildConfig())
+	load, err := adascale.GenLoad(ds.Val, adascale.LoadConfig{Streams: 4, FPS: 15, FramesPerStream: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := adascale.NewCluster(sys.Detector, sys.Regressor, adascale.ClusterConfig{
+		Nodes: 2, EpochMS: 400, Plan: plan,
+		Node: adascale.ServeConfig{
+			Workers: 2, QueueDepth: 4, SLOMS: 100,
+			Resilient: adascale.DefaultResilientConfig(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cl.Run(load)
+	if rep.Lost() != 0 {
+		t.Fatalf("cluster lost %d frames", rep.Lost())
+	}
+	if rep.Offered != 24 {
+		t.Fatalf("offered %d frames, want 24", rep.Offered)
+	}
+	var nr adascale.ClusterNodeReport
+	if len(rep.PerNode) == 0 {
+		t.Fatal("no per-node rollups")
+	}
+	nr = rep.PerNode[0]
+	if nr.EpochsUp == 0 && nr.Served > 0 {
+		t.Fatal("node served frames in zero epochs")
+	}
+}
+
 // TestSRegIsolated ensures SReg returns a copy callers cannot corrupt.
 func TestSRegIsolated(t *testing.T) {
 	s := adascale.SReg()

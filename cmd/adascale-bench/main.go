@@ -14,7 +14,7 @@
 //	adascale-bench -diff baseline.json -diff-to candidate.json [-accuracy-only]
 //
 // Experiments: table1, table2, table3, fig5, fig6, fig7, fig9, fig10,
-// qualitative, robustness, serving, chaos. The robustness sweep injects the
+// qualitative, robustness, serving, chaos, cluster. The robustness sweep injects the
 // -faults rates into the validation split and compares fixed-scale, naive
 // AdaScale and the resilient runner (optionally deadline-constrained via
 // -deadline-ms). The serving sweep loads the multi-stream server at
@@ -22,8 +22,11 @@
 // seeded system fault plans (worker kills/stalls, node blackouts, queue
 // saturation) at increasing intensity and compares the supervised serving
 // layer against naive failover on recovery time, SLO damage and effective
-// coverage. The master -seed pins the dataset and every derived fault/load
-// stream (see internal/cli).
+// coverage. The cluster sweep shards 1k-100k streams across simulated node
+// fleets under churn (joins, leaves, blackouts, migrations) and reports the
+// capacity-planning curve: SLO damage and recovery time per fleet size,
+// with zero lost frames. The master -seed pins the dataset and every
+// derived fault/load stream (see internal/cli).
 //
 // -json measures every selected experiment (warmup + timed iterations, see
 // internal/regress.Measure) and writes a machine-readable report: ns/op,
@@ -195,6 +198,26 @@ func experimentRuns(b *experiments.Bundle, rates []float64, deadlineMS float64) 
 				"coverage/naive_worst":         worst.Naive.Coverage,
 				"recovery_ms/supervised_worst": worst.Supervised.RecoveryMS,
 				"lost/supervised_worst":        float64(worst.Supervised.Lost),
+			})
+		}},
+		{"cluster", func() (experiments.Printer, map[string]float64, error) {
+			res, err := b.Cluster(experiments.DefaultClusterSweepConfig())
+			if err != nil {
+				return nil, nil, err
+			}
+			lost := 0
+			for _, row := range res.Rows {
+				for _, cell := range row.Cells {
+					lost += cell.Lost
+				}
+			}
+			last := res.Rows[len(res.Rows)-1]
+			first, best := last.Cells[0], last.Cells[len(last.Cells)-1]
+			return ok(res, map[string]float64{
+				"slo_miss/cluster_worst": first.SLOMissRate,
+				"slo_miss/cluster_best":  best.SLOMissRate,
+				"p95_ms/cluster_best":    best.P95,
+				"lost/cluster_sweep":     float64(lost),
 			})
 		}},
 	}

@@ -11,6 +11,7 @@
 //	               [-max-streams 0] [-rate 30] [-frames 60] [-tick-ms 500] \
 //	               [-dataset vid|ytbb] [-train 12] [-val 8] [-seed 5] \
 //	               [-faults 0] [-chaos 0] [-chaos-seed 0] [-smoke] \
+//	               [-cluster] [-nodes 4] [-epoch-ms 500] [-model-only] \
 //	               [-trace trace.txt] [-trace-wall] [-pprof localhost:6060] \
 //	               [-http addr] [-rate-limit 0] [-burst 0] [-tenant-streams 0]
 //
@@ -24,6 +25,20 @@
 // final metrics snapshot. -rate-limit/-burst bound each tenant's request
 // rate (token bucket); -tenant-streams caps streams per tenant; -queue,
 // -slo-ms, -max-streams and -workers keep their meanings.
+//
+// -cluster switches to the cluster-scale simulation (internal/cluster): the
+// offered streams are sharded across -nodes simulated nodes by a
+// bounded-load consistent-hash ring, each node runs its own scheduler +
+// supervisor over -epoch-ms placement epochs, and the cluster report rolls
+// the fleet up (per-node serving totals, joins/leaves/blackouts, stream
+// migrations and cross-node failovers carrying session checkpoints). In
+// this mode -chaos <rate> generates the *cluster* event plan — node joins,
+// graceful leaves, node blackouts and forced stream migrations at the
+// given events/second — instead of the single-node system fault plan, and
+// -model-only skips detector compute (frames still cost their modelled
+// virtual service time) so 1k-100k stream fleets run in seconds. Under
+// -smoke the cluster gate asserts the conservation identity: lost=0,
+// offered = served + dropped exactly, with at least one node standing.
 //
 // -chaos <rate> injects a seeded *system* fault plan on top of the load:
 // worker kills and stalls (Poisson at the given intensity), node
@@ -57,6 +72,7 @@ import (
 
 	"adascale/internal/adascale"
 	"adascale/internal/cli"
+	"adascale/internal/cluster"
 	"adascale/internal/faults"
 	"adascale/internal/serve"
 	"adascale/internal/server"
@@ -77,6 +93,10 @@ func main() {
 	chaosRate := flag.Float64("chaos", 0, "system fault intensity: worker kills/stalls, blackouts, queue saturation (0 = off)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "chaos plan seed (0 = derive from -seed)")
 	smoke := flag.Bool("smoke", false, "gate mode: exit non-zero on any drop (or, under -chaos, any lost stream/frame) or an empty snapshot")
+	clusterMode := flag.Bool("cluster", false, "shard the streams across a simulated node fleet (internal/cluster) instead of one server")
+	nodes := flag.Int("nodes", 4, "cluster: initial node count")
+	epochMS := flag.Float64("epoch-ms", 500, "cluster: placement epoch length in virtual ms")
+	modelOnly := flag.Bool("model-only", false, "cluster: skip detector compute; frames cost modelled virtual time only")
 	httpAddr := flag.String("http", "", "serve the HTTP API on this address instead of running the offline simulation (e.g. 127.0.0.1:8080)")
 	rateLimit := flag.Float64("rate-limit", 0, "http: per-tenant request rate limit, req/s (0 = off)")
 	burst := flag.Int("burst", 0, "http: token-bucket burst for -rate-limit")
@@ -131,6 +151,20 @@ func main() {
 	})
 	if err != nil {
 		fail(err)
+	}
+
+	if *clusterMode {
+		seed := *chaosSeed
+		if seed == 0 {
+			seed = common.ChaosSeed()
+		}
+		runCluster(sys, load, clusterRun{
+			nodes: *nodes, epochMS: *epochMS, modelOnly: *modelOnly,
+			eventRate: *chaosRate, planSeed: seed, workers: common.Workers,
+			queue: *queue, sloMS: *sloMS, smoke: *smoke,
+		}, fail)
+		fmt.Fprintf(os.Stderr, "wall time: %v\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	cfg := serve.Config{
@@ -221,6 +255,96 @@ func main() {
 	}
 
 	common.WriteTrace("adascale-serve")
+}
+
+// clusterRun bundles the cluster-mode knobs main hands to runCluster.
+type clusterRun struct {
+	nodes     int
+	epochMS   float64
+	modelOnly bool
+	eventRate float64
+	planSeed  int64
+	workers   int
+	queue     int
+	sloMS     float64
+	smoke     bool
+}
+
+// runCluster shards the generated load across a simulated node fleet and
+// prints the cluster report plus the merged metrics snapshot. For a fixed
+// flag set the entire stdout stream is byte-identical across runs and
+// machines — the property scripts/cluster-smoke.sh diffs.
+func runCluster(sys *adascale.System, load []serve.Stream, opt clusterRun, fail func(error)) {
+	if opt.workers <= 0 {
+		// Cluster placement needs an explicit per-node capacity;
+		// GOMAXPROCS-derived capacity would shard machine-dependently.
+		opt.workers = 4
+		fmt.Println("cluster: forcing -workers 4 (nodes need an explicit worker count)")
+	}
+	cfg := cluster.Config{
+		Nodes:   opt.nodes,
+		EpochMS: opt.epochMS,
+		Node: serve.Config{
+			Workers:    opt.workers,
+			QueueDepth: opt.queue,
+			SLOMS:      opt.sloMS,
+			Resilient:  adascale.DefaultResilientConfig(),
+			ModelOnly:  opt.modelOnly,
+			// Per-stream metric keys would make the snapshot O(streams);
+			// the cluster rollup keeps the fleet-level series instead.
+			CompactMetrics: true,
+		},
+	}
+	if opt.eventRate > 0 {
+		horizon := 0.0
+		for _, st := range load {
+			for _, f := range st.Frames {
+				if f.ArrivalMS > horizon {
+					horizon = f.ArrivalMS
+				}
+			}
+		}
+		plan, err := cluster.GenPlan(cluster.PlanConfig{
+			Seed:      opt.planSeed,
+			HorizonMS: horizon + opt.epochMS,
+			Rate:      opt.eventRate,
+			Nodes:     opt.nodes,
+			Streams:   len(load),
+		})
+		if err != nil {
+			fail(err)
+		}
+		cfg.Plan = plan
+		fmt.Printf("cluster events: %s\n", plan)
+	}
+	cl, err := cluster.New(sys.Detector, sys.Regressor, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("cluster: sharding %d streams across %d nodes, epoch %.0f ms, %d workers/node\n",
+		len(load), opt.nodes, opt.epochMS, opt.workers)
+	rep := cl.Run(load)
+
+	fmt.Printf("\n=== cluster report (t=%.1fms virtual) ===\n", rep.DurationMS)
+	fmt.Print(rep.String())
+	fmt.Printf("\n=== final metrics ===\n")
+	snapshot := rep.Metrics.Snapshot()
+	fmt.Print(snapshot)
+
+	if opt.smoke {
+		if snapshot == "" {
+			fail(fmt.Errorf("smoke: empty metrics snapshot"))
+		}
+		if n := rep.Lost(); n != 0 {
+			fail(fmt.Errorf("smoke: %d frames lost (offered=%d served=%d dropped=%d)",
+				n, rep.Offered, rep.Served, rep.Dropped))
+		}
+		if rep.FinalNodes < 1 {
+			fail(fmt.Errorf("smoke: cluster ended with %d nodes", rep.FinalNodes))
+		}
+		fmt.Println("cluster smoke: OK")
+	}
 }
 
 // serveHTTP runs the network serving mode: listen, serve the API, drain

@@ -1,0 +1,471 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adascale/internal/adascale"
+	"adascale/internal/faults"
+	"adascale/internal/obs"
+	"adascale/internal/regressor"
+	"adascale/internal/rfcn"
+	"adascale/internal/serve"
+)
+
+// The cluster simulator proper. Virtual time is divided into fixed epochs;
+// at each epoch boundary the simulator applies cluster events (joins,
+// leaves, blackouts, migrations), runs the autoscaler, recomputes the
+// bounded-load placement, and then runs every up node's serve scheduler
+// over the frames arriving in the window — each node an independent
+// discrete-event simulation sharing the cluster's absolute clock. A node
+// run drains completely (the serve layer runs to its last completion), so
+// no queued frame ever crosses an epoch boundary: conservation at the
+// cluster level is the sum of per-(node, epoch) conservation, which the
+// serve scheduler already guarantees. Streams carry their resilient-session
+// checkpoints between epochs and across nodes, so a migrated or failed-over
+// stream resumes its scale ladder, last-good detections and deadline budget
+// exactly where it left them.
+
+// Autoscale tunes the p95-driven node autoscaler. The zero value disables
+// autoscaling.
+type Autoscale struct {
+	// ScaleUpP95MS adds a node when the cluster's epoch p95 queue wait
+	// exceeds it (0 disables scaling up).
+	ScaleUpP95MS float64
+
+	// ScaleDownP95MS removes the highest-ID node when the epoch p95 queue
+	// wait falls below it (0 disables scaling down).
+	ScaleDownP95MS float64
+
+	// CooldownMS is the minimum virtual time between scaling actions.
+	// 0 means twice the epoch.
+	CooldownMS float64
+
+	// MinNodes / MaxNodes bound the fleet. Defaults: 1 and 4× the initial
+	// node count.
+	MinNodes, MaxNodes int
+}
+
+// Config parameterises a cluster run.
+type Config struct {
+	// Nodes is the initial node count (IDs 0..Nodes-1).
+	Nodes int
+
+	// EpochMS is the placement epoch: events, scaling and rebalancing
+	// happen at epoch boundaries. 0 means 1000.
+	EpochMS float64
+
+	// Ring tunes the bounded-load placement ring.
+	Ring RingConfig
+
+	// Autoscale tunes the node autoscaler (zero value: disabled).
+	Autoscale Autoscale
+
+	// MigrateP95MS is the overload-migration trigger: a node whose epoch
+	// p95 queue wait exceeds it sheds a quarter of its streams to the
+	// least-loaded peer at the next epoch. 0 disables.
+	MigrateP95MS float64
+
+	// Plan, when non-nil, is the cluster event schedule.
+	Plan *Plan
+
+	// Node is the per-node serving configuration. Workers must be
+	// explicit (> 0): node capacity is part of the cluster's determinism
+	// contract, and blackout injection reuses the serve chaos path, which
+	// forbids a machine-derived worker count.
+	Node serve.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochMS <= 0 {
+		c.EpochMS = 1000
+	}
+	if c.Autoscale.CooldownMS <= 0 {
+		c.Autoscale.CooldownMS = 2 * c.EpochMS
+	}
+	if c.Autoscale.MinNodes <= 0 {
+		c.Autoscale.MinNodes = 1
+	}
+	if c.Autoscale.MaxNodes <= 0 {
+		c.Autoscale.MaxNodes = 4 * c.Nodes
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster: need at least one node, got %d", c.Nodes)
+	}
+	if c.EpochMS < 0 {
+		return fmt.Errorf("cluster: negative epoch %v", c.EpochMS)
+	}
+	if c.Node.Workers <= 0 {
+		return fmt.Errorf("cluster: node config needs an explicit worker count (cluster determinism forbids a machine-derived capacity)")
+	}
+	if c.Node.Chaos != nil {
+		return fmt.Errorf("cluster: the node config's Chaos plan is owned by the cluster (schedule blackouts through a cluster Plan instead)")
+	}
+	return c.Node.Validate()
+}
+
+// Cluster shards streams across simulated serve nodes.
+type Cluster struct {
+	cfg Config
+	det *rfcn.Detector
+	reg *regressor.Regressor
+}
+
+// New creates a cluster for a trained system; the detector and regressor
+// are shared templates, cloned per node worker exactly as a single serve
+// node would.
+func New(det *rfcn.Detector, reg *regressor.Regressor, cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg.withDefaults(), det: det, reg: reg}, nil
+}
+
+// runState is the mutable state of one cluster run.
+type runState struct {
+	ring       *Ring
+	down       map[int]float64 // node -> virtual instant it comes back up
+	nextNode   int
+	checkpoint map[int]*adascale.SessionCheckpoint
+	prevAssign map[int]int // stream -> node last epoch
+	overloaded []int       // nodes that tripped MigrateP95MS last epoch
+	chaosFor   map[int][]faults.SystemEvent
+	forced     []int // stream IDs with a forced migration this epoch
+	lastScale  float64
+	rep        *Report
+}
+
+// Run shards the streams across the cluster and serves them to completion.
+func (c *Cluster) Run(streams []serve.Stream) *Report {
+	cfg := c.cfg
+	rep := newReport(cfg.Nodes)
+	rep.Metrics = obs.NewMetrics()
+	st := &runState{
+		ring:       NewRing(cfg.Ring),
+		down:       map[int]float64{},
+		nextNode:   cfg.Nodes,
+		checkpoint: map[int]*adascale.SessionCheckpoint{},
+		prevAssign: map[int]int{},
+		lastScale:  math.Inf(-1),
+		rep:        rep,
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		st.ring.Add(n)
+		rep.node(n)
+	}
+
+	// Sort streams by ID and index their frames; loadgen emits frames in
+	// arrival order per stream, which the epoch slicing relies on.
+	ordered := append([]serve.Stream(nil), streams...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	horizon := 0.0
+	cursor := make([]int, len(ordered))
+	for _, s := range ordered {
+		rep.Streams++
+		rep.Offered += len(s.Frames)
+		if n := len(s.Frames); n > 0 && s.Frames[n-1].ArrivalMS > horizon {
+			horizon = s.Frames[n-1].ArrivalMS
+		}
+		if s.Checkpoint != nil {
+			cp := *s.Checkpoint
+			st.checkpoint[s.ID] = &cp
+		}
+	}
+	if rep.Offered == 0 {
+		rep.FinalNodes = st.ring.Len()
+		return rep
+	}
+	epochs := int(horizon/cfg.EpochMS) + 1
+	rep.Epochs = epochs
+
+	eventIdx := 0
+	var p95 float64 // last epoch's cluster p95 queue wait
+	for epoch := 0; epoch < epochs; epoch++ {
+		start := float64(epoch) * cfg.EpochMS
+		end := start + cfg.EpochMS
+		st.chaosFor = map[int][]faults.SystemEvent{}
+		st.forced = st.forced[:0]
+
+		c.syncMembership(st, start)
+		if cfg.Plan != nil {
+			for ; eventIdx < len(cfg.Plan.Events) && cfg.Plan.Events[eventIdx].AtMS < end; eventIdx++ {
+				c.apply(st, cfg.Plan.Events[eventIdx], end)
+			}
+		}
+		if epoch > 0 {
+			c.autoscale(st, start, p95)
+		}
+
+		assign := c.place(st, ordered, cursor)
+		p95 = c.runEpoch(st, ordered, cursor, assign, start, end)
+		st.prevAssign = assign
+	}
+
+	rep.FinalNodes = st.ring.Len()
+	sort.Slice(rep.PerNode, func(i, j int) bool { return rep.PerNode[i].Node < rep.PerNode[j].Node })
+	return rep
+}
+
+// syncMembership reconciles blackout outages with the ring at an epoch
+// boundary: nodes whose outage ended rejoin; nodes still inside one leave
+// (their streams fail over this epoch). A node spends the epoch the
+// blackout *starts* in still on the ring — its own supervisor rides the
+// outage out via the injected faults.SysNodeBlackout — and leaves only
+// from the next boundary, mirroring how a real cluster detects a dead node
+// a health-check interval after it stops answering. The last node standing
+// is never removed: the cluster always has somewhere to route frames.
+func (c *Cluster) syncMembership(st *runState, startMS float64) {
+	ids := make([]int, 0, len(st.down))
+	for n := range st.down {
+		ids = append(ids, n)
+	}
+	sort.Ints(ids)
+	for _, n := range ids {
+		switch {
+		case st.down[n] <= startMS:
+			delete(st.down, n)
+			st.ring.Add(n)
+		case st.ring.Has(n):
+			if st.ring.Len() > 1 {
+				st.ring.Remove(n)
+			} else {
+				// The only node up: the outage is overridden — degraded
+				// serving through the supervisor beats losing the fleet.
+				delete(st.down, n)
+			}
+		}
+	}
+}
+
+// apply folds one cluster event into the run state. Events that would take
+// the last node down are ignored: the cluster never loses its only serving
+// node, so every offered frame always has somewhere to go (the conservation
+// invariant is unconditional, including under fuzzed plans).
+func (c *Cluster) apply(st *runState, e Event, epochEndMS float64) {
+	switch e.Kind {
+	case EvJoin:
+		n := st.nextNode
+		st.nextNode++
+		st.ring.Add(n)
+		st.rep.node(n)
+		st.rep.Joins++
+	case EvLeave:
+		if !st.ring.Has(e.Node) || st.ring.Len() <= 1 {
+			return
+		}
+		st.ring.Remove(e.Node)
+		st.rep.Leaves++
+	case EvBlackout:
+		if !st.ring.Has(e.Node) {
+			return
+		}
+		st.rep.Blackouts++
+		// Inside the event's own epoch the node rides the outage out on
+		// its supervisor — the injected faults.SysNodeBlackout sheds and
+		// recovers exactly as the single-node chaos path does.
+		st.chaosFor[e.Node] = append(st.chaosFor[e.Node], faults.SystemEvent{
+			AtMS: e.AtMS, Kind: faults.SysNodeBlackout, Worker: -1, DurationMS: e.DurationMS,
+		})
+		if upAt := e.AtMS + e.DurationMS; upAt >= epochEndMS {
+			// The outage outlives the epoch: from the next boundary
+			// (syncMembership) the node leaves the ring and its streams
+			// fail over — checkpoints restored on their new nodes — until
+			// it recovers.
+			if upAt > st.down[e.Node] {
+				st.down[e.Node] = upAt
+			}
+		}
+	case EvMigrate:
+		if st.ring.Len() <= 1 {
+			return
+		}
+		st.forced = append(st.forced, e.Stream)
+	}
+}
+
+// autoscale applies the p95-driven scaling policy at an epoch boundary.
+func (c *Cluster) autoscale(st *runState, nowMS, p95 float64) {
+	a := c.cfg.Autoscale
+	if a.ScaleUpP95MS <= 0 && a.ScaleDownP95MS <= 0 {
+		return
+	}
+	if nowMS-st.lastScale < a.CooldownMS {
+		return
+	}
+	switch {
+	case a.ScaleUpP95MS > 0 && p95 > a.ScaleUpP95MS && st.ring.Len() < a.MaxNodes:
+		n := st.nextNode
+		st.nextNode++
+		st.ring.Add(n)
+		st.rep.node(n)
+		st.rep.ScaleUps++
+		st.lastScale = nowMS
+	case a.ScaleDownP95MS > 0 && p95 < a.ScaleDownP95MS && st.ring.Len() > a.MinNodes:
+		nodes := st.ring.Nodes()
+		st.ring.Remove(nodes[len(nodes)-1])
+		st.rep.ScaleDowns++
+		st.lastScale = nowMS
+	}
+}
+
+// place computes the epoch's stream→node assignment: the bounded-load ring
+// assignment over every stream with frames remaining, then the overload
+// shed and forced migrations on top. Migration counting compares against
+// the previous epoch's placement: a stream that has already served
+// somewhere (it has a checkpoint) and lands on a different node is a
+// migration; if its old node is gone from the ring it is a failover.
+func (c *Cluster) place(st *runState, ordered []serve.Stream, cursor []int) map[int]int {
+	keys := make([]int, 0, len(ordered))
+	for i, s := range ordered {
+		if cursor[i] < len(s.Frames) {
+			keys = append(keys, s.ID)
+		}
+	}
+	if len(keys) == 0 {
+		return map[int]int{}
+	}
+	assign := st.ring.Assign(keys)
+
+	load := map[int]int{}
+	for _, n := range assign {
+		load[n]++
+	}
+
+	// Overload shed: each tripped node moves the top quarter of its
+	// streams (highest IDs — deterministic, and the streams placed there
+	// most recently under ascending assignment) to the least-loaded peer.
+	for _, n := range st.overloaded {
+		if !st.ring.Has(n) || st.ring.Len() <= 1 {
+			continue
+		}
+		var mine []int
+		for k, nn := range assign {
+			if nn == n {
+				mine = append(mine, k)
+			}
+		}
+		sort.Ints(mine)
+		shed := len(mine) / 4
+		for _, k := range mine[len(mine)-shed:] {
+			if t := leastLoaded(st.ring, load, n); t >= 0 {
+				assign[k] = t
+				load[n]--
+				load[t]++
+			}
+		}
+	}
+
+	// Forced migrations from the event plan.
+	for _, k := range st.forced {
+		n, ok := assign[k]
+		if !ok {
+			continue // stream already drained
+		}
+		if t := leastLoaded(st.ring, load, n); t >= 0 {
+			assign[k] = t
+			load[n]--
+			load[t]++
+		}
+	}
+
+	for _, k := range keys {
+		prev, moved := st.prevAssign[k]
+		if !moved || prev == assign[k] || st.checkpoint[k] == nil {
+			continue
+		}
+		st.rep.Migrations++
+		if !st.ring.Has(prev) {
+			st.rep.Failovers++
+		}
+	}
+	return assign
+}
+
+// leastLoaded returns the up node with the smallest assigned load other
+// than exclude (lowest ID on ties), or -1 if none exists.
+func leastLoaded(ring *Ring, load map[int]int, exclude int) int {
+	best := -1
+	for _, n := range ring.Nodes() {
+		if n == exclude {
+			continue
+		}
+		if best < 0 || load[n] < load[best] {
+			best = n
+		}
+	}
+	return best
+}
+
+// runEpoch runs every up node's serve scheduler over the epoch's arrivals
+// and folds the results into the cluster report. Returns the epoch's
+// cluster-wide p95 queue wait (the autoscaler's input signal).
+func (c *Cluster) runEpoch(st *runState, ordered []serve.Stream, cursor []int, assign map[int]int, startMS, endMS float64) float64 {
+	// Slice each stream's frames for the window and group by node.
+	perNode := map[int][]serve.Stream{}
+	for i := range ordered {
+		s := &ordered[i]
+		lo := cursor[i]
+		hi := lo
+		for hi < len(s.Frames) && s.Frames[hi].ArrivalMS < endMS {
+			hi++
+		}
+		if hi == lo {
+			continue
+		}
+		cursor[i] = hi
+		n := assign[s.ID]
+		perNode[n] = append(perNode[n], serve.Stream{
+			ID: s.ID, Frames: s.Frames[lo:hi], Checkpoint: st.checkpoint[s.ID],
+		})
+	}
+
+	epochM := obs.NewMetrics()
+	var tripped []int
+	for _, n := range st.ring.Nodes() {
+		nodeStreams := perNode[n]
+		if len(nodeStreams) == 0 && st.chaosFor[n] == nil {
+			continue
+		}
+		nodeCfg := c.cfg.Node
+		if ev := st.chaosFor[n]; ev != nil {
+			nodeCfg.Chaos = &faults.SystemPlan{Seed: c.cfg.Ring.Seed, Events: ev}
+		}
+		srv, err := serve.New(c.det, c.reg, nodeCfg)
+		if err != nil {
+			// Config was validated at New; a per-epoch failure here is a
+			// programming error, not an input condition.
+			panic(fmt.Sprintf("cluster: node %d epoch config rejected: %v", n, err))
+		}
+		nodeRep := srv.Run(nodeStreams)
+
+		nr := st.rep.node(n)
+		nr.EpochsUp++
+		for _, sr := range nodeRep.Streams {
+			nr.Served += len(sr.Outputs)
+			nr.Dropped += len(sr.Dropped)
+			nr.SLOMisses += sr.SLOMisses
+			st.rep.Served += len(sr.Outputs)
+			st.rep.Dropped += len(sr.Dropped)
+			st.rep.SLOMisses += sr.SLOMisses
+			cp := sr.Checkpoint
+			st.checkpoint[sr.ID] = &cp
+		}
+		if d := nodeRep.DurationMS; d > st.rep.DurationMS {
+			st.rep.DurationMS = d
+		}
+		epochM.Merge(nodeRep.Metrics)
+		if c.cfg.MigrateP95MS > 0 && nodeRep.Metrics.Quantile("queue/wait_ms", 0.95) > c.cfg.MigrateP95MS {
+			tripped = append(tripped, n)
+		}
+	}
+	st.overloaded = tripped
+	p95 := epochM.Quantile("queue/wait_ms", 0.95)
+	st.rep.Metrics.Merge(epochM)
+	return p95
+}

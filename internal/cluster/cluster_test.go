@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"adascale/internal/adascale"
+	"adascale/internal/faults"
+	"adascale/internal/parallel"
+	"adascale/internal/serve"
+	"adascale/internal/synth"
+)
+
+var (
+	buildOnce sync.Once
+	sharedDS  *synth.Dataset
+	sharedSys *adascale.System
+)
+
+// system builds one small trained system shared across the package's tests
+// (testing.TB so the fuzz harness can share the fixture).
+func system(t testing.TB) (*synth.Dataset, *adascale.System) {
+	t.Helper()
+	buildOnce.Do(func() {
+		cfg := synth.VIDLike(5)
+		ds, err := synth.Generate(cfg, 12, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedDS = ds
+		sharedSys = adascale.Build(ds, adascale.DefaultBuildConfig())
+	})
+	return sharedDS, sharedSys
+}
+
+// load generates an arrival schedule over the validation snippets.
+func load(t testing.TB, ds *synth.Dataset, streams int, fps float64, frames int, seed int64) []serve.Stream {
+	t.Helper()
+	out, err := serve.GenLoad(ds.Val, serve.LoadConfig{Streams: streams, FPS: fps, FramesPerStream: frames, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// nodeConfig is the per-node template every cluster test shares.
+func nodeConfig() serve.Config {
+	return serve.Config{
+		Workers: 2, QueueDepth: 4, SLOMS: 100,
+		Resilient: adascale.DefaultResilientConfig(),
+	}
+}
+
+func newCluster(t *testing.T, sys *adascale.System, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(sys.Detector, sys.Regressor, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// checkConserved asserts the conservation invariant and internal
+// consistency of a cluster report.
+func checkConserved(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep.Lost() != 0 {
+		t.Fatalf("cluster lost %d frames (offered=%d served=%d dropped=%d)",
+			rep.Lost(), rep.Offered, rep.Served, rep.Dropped)
+	}
+	var served, dropped int
+	for _, n := range rep.PerNode {
+		served += n.Served
+		dropped += n.Dropped
+	}
+	if served != rep.Served || dropped != rep.Dropped {
+		t.Fatalf("per-node rollups (served=%d dropped=%d) disagree with totals (served=%d dropped=%d)",
+			served, dropped, rep.Served, rep.Dropped)
+	}
+	if got := rep.Metrics.Counter("frames/served"); int(got) != rep.Served {
+		t.Fatalf("merged metrics count %d served frames, report says %d", got, rep.Served)
+	}
+}
+
+func TestClusterConservation(t *testing.T) {
+	ds, sys := system(t)
+	c := newCluster(t, sys, Config{Nodes: 3, EpochMS: 400, Node: nodeConfig()})
+	rep := c.Run(load(t, ds, 9, 20, 10, 11))
+	checkConserved(t, rep)
+	if rep.Streams != 9 || rep.Offered != 90 {
+		t.Fatalf("streams=%d offered=%d, want 9/90", rep.Streams, rep.Offered)
+	}
+	if rep.Served == 0 {
+		t.Fatal("cluster served nothing")
+	}
+	if rep.FinalNodes != 3 {
+		t.Fatalf("final nodes %d, want 3 (no plan, no autoscale)", rep.FinalNodes)
+	}
+	for _, want := range []string{"cluster:", "lost=0", "node 0", "node 2"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, rep.String())
+		}
+	}
+}
+
+// TestClusterDeterministic pins the cluster determinism contract: two runs
+// with the same inputs — and runs at real worker counts 1 and 4 — produce
+// byte-identical reports and metric snapshots.
+func TestClusterDeterministic(t *testing.T) {
+	ds, sys := system(t)
+	plan, err := GenPlan(PlanConfig{Seed: 3, HorizonMS: 1200, Rate: 3, Nodes: 3, Streams: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		c := newCluster(t, sys, Config{Nodes: 3, EpochMS: 400, Plan: plan, Node: nodeConfig()})
+		rep := c.Run(load(t, ds, 8, 20, 8, 11))
+		checkConserved(t, rep)
+		return rep.String() + rep.Metrics.Snapshot()
+	}
+	ref := run()
+	if again := run(); again != ref {
+		t.Fatalf("cluster run diverged across identical runs:\n--- A ---\n%s\n--- B ---\n%s", ref, again)
+	}
+	t.Cleanup(func() { parallel.SetWorkers(0) })
+	for _, w := range []int{1, 4} {
+		parallel.SetWorkers(w)
+		if got := run(); got != ref {
+			t.Fatalf("cluster run diverged at real workers=%d", w)
+		}
+	}
+}
+
+// TestClusterBlackoutFailover drives a blackout that outlives its epoch:
+// the node must leave the ring, its streams must fail over with their
+// checkpoints, the node must come back, and no frame may be lost.
+func TestClusterBlackoutFailover(t *testing.T) {
+	ds, sys := system(t)
+	plan := &Plan{Events: []Event{
+		{AtMS: 150, Kind: EvBlackout, Node: 1, DurationMS: 700},
+	}}
+	c := newCluster(t, sys, Config{Nodes: 3, EpochMS: 400, Plan: plan, Node: nodeConfig()})
+	rep := c.Run(load(t, ds, 9, 15, 20, 11))
+	checkConserved(t, rep)
+	if rep.Blackouts != 1 {
+		t.Fatalf("blackouts applied = %d, want 1", rep.Blackouts)
+	}
+	if rep.Failovers == 0 {
+		t.Fatal("no failovers recorded through a node blackout")
+	}
+	if rep.FinalNodes != 3 {
+		t.Fatalf("final nodes %d, want 3 (node 1 recovers at 850ms)", rep.FinalNodes)
+	}
+	// The blacked-out node must have sat out at least one epoch.
+	for _, n := range rep.PerNode {
+		if n.Node == 1 && n.EpochsUp >= rep.Epochs {
+			t.Fatalf("node 1 up for all %d epochs despite a 700ms blackout", rep.Epochs)
+		}
+	}
+}
+
+// TestClusterJoinLeave checks membership bookkeeping: plan joins mint fresh
+// node IDs, graceful leaves drain through migration, and the last node can
+// never be removed.
+func TestClusterJoinLeave(t *testing.T) {
+	ds, sys := system(t)
+	plan := &Plan{Events: []Event{
+		{AtMS: 100, Kind: EvJoin},
+		{AtMS: 500, Kind: EvLeave, Node: 0},
+		{AtMS: 900, Kind: EvLeave, Node: 99}, // absent: ignored
+	}}
+	c := newCluster(t, sys, Config{Nodes: 2, EpochMS: 400, Plan: plan, Node: nodeConfig()})
+	rep := c.Run(load(t, ds, 6, 20, 10, 11))
+	checkConserved(t, rep)
+	if rep.Joins != 1 || rep.Leaves != 1 {
+		t.Fatalf("joins=%d leaves=%d, want 1/1", rep.Joins, rep.Leaves)
+	}
+	if rep.FinalNodes != 2 {
+		t.Fatalf("final nodes %d, want 2 (2 initial + 1 join - 1 leave)", rep.FinalNodes)
+	}
+	if rep.Migrations == 0 {
+		t.Fatal("membership churn produced no migrations")
+	}
+
+	// A plan that tries to remove every node must leave one standing.
+	drain := &Plan{Events: []Event{
+		{AtMS: 100, Kind: EvLeave, Node: 0},
+		{AtMS: 100, Kind: EvLeave, Node: 1},
+	}}
+	c2 := newCluster(t, sys, Config{Nodes: 2, EpochMS: 400, Plan: drain, Node: nodeConfig()})
+	rep2 := c2.Run(load(t, ds, 4, 20, 8, 11))
+	checkConserved(t, rep2)
+	if rep2.FinalNodes != 1 {
+		t.Fatalf("final nodes %d, want exactly 1 survivor", rep2.FinalNodes)
+	}
+}
+
+// TestClusterAutoscale overloads a single node and checks the p95 policy
+// grows the fleet (within bounds, respecting cooldown) without losing
+// frames.
+func TestClusterAutoscale(t *testing.T) {
+	ds, sys := system(t)
+	node := nodeConfig()
+	node.Workers = 1
+	c := newCluster(t, sys, Config{
+		Nodes: 1, EpochMS: 400,
+		Autoscale: Autoscale{ScaleUpP95MS: 5, CooldownMS: 400, MaxNodes: 4},
+		Node:      node,
+	})
+	rep := c.Run(load(t, ds, 12, 40, 12, 11))
+	checkConserved(t, rep)
+	if rep.ScaleUps == 0 {
+		t.Fatalf("overloaded single node never scaled up:\n%s", rep.String())
+	}
+	if rep.FinalNodes > 4 {
+		t.Fatalf("fleet grew past MaxNodes: %d", rep.FinalNodes)
+	}
+}
+
+// TestClusterModelOnly checks the capacity-sweep fast path: model-only
+// cluster runs conserve frames, produce deterministic compact snapshots,
+// and serve every non-dropped frame through the propagation path.
+func TestClusterModelOnly(t *testing.T) {
+	ds, sys := system(t)
+	node := nodeConfig()
+	node.ModelOnly = true
+	node.CompactMetrics = true
+	run := func() string {
+		c := newCluster(t, sys, Config{Nodes: 2, EpochMS: 400, Node: node})
+		rep := c.Run(load(t, ds, 50, 15, 6, 11))
+		checkConserved(t, rep)
+		if rep.Served+rep.Dropped != 300 {
+			t.Fatalf("served=%d dropped=%d, want total 300", rep.Served, rep.Dropped)
+		}
+		return rep.String() + rep.Metrics.Snapshot()
+	}
+	ref := run()
+	if again := run(); again != ref {
+		t.Fatal("model-only cluster run not deterministic")
+	}
+	if strings.Contains(ref, "stream/0/") {
+		t.Fatal("compact metrics still emit per-stream keys")
+	}
+}
+
+// TestClusterConfigValidation pins the config contract.
+func TestClusterConfigValidation(t *testing.T) {
+	_, sys := system(t)
+	if _, err := New(sys.Detector, sys.Regressor, Config{Nodes: 0, Node: nodeConfig()}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	bad := nodeConfig()
+	bad.Workers = 0
+	if _, err := New(sys.Detector, sys.Regressor, Config{Nodes: 2, Node: bad}); err == nil {
+		t.Fatal("machine-derived node worker count accepted")
+	}
+	withChaos := nodeConfig()
+	withChaos.Chaos = &faults.SystemPlan{}
+	if _, err := New(sys.Detector, sys.Regressor, Config{Nodes: 2, Node: withChaos}); err == nil {
+		t.Fatal("caller-owned node chaos plan accepted")
+	}
+}

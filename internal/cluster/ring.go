@@ -1,0 +1,220 @@
+// Package cluster is the virtual-time cluster simulator: it shards N video
+// streams across M simulated nodes — each node an instance of the
+// internal/serve scheduler + supervisor — and layers cluster-level concerns
+// on top: consistent-hash placement with bounded load, p95-driven
+// autoscaling with virtual-time cooldown, overload-triggered stream
+// migration, and node-blackout failover that carries each stream's
+// resilient-session checkpoint to its new node.
+//
+// Everything runs on the same discrete-event virtual clock as the serving
+// layer, so a cluster run is a pure function of (dataset seed, load seed,
+// event plan, config): byte-identical across runs and worker counts, which
+// is what makes the conservation invariant (offered == served + dropped,
+// zero frames lost across migrations) testable as an exact equality rather
+// than a statistical claim.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The stream→node placement layer: consistent hashing with bounded loads.
+// Each node projects Replicas virtual points onto a 64-bit ring; a stream
+// hashes to a ring position and walks clockwise to the first node whose
+// assigned load is below the cap ceil(LoadFactor·K/M). The walk keeps the
+// classic consistent-hashing property — node join/leave moves only the keys
+// adjacent to the changed points (plus bounded-load cascade) — while the cap
+// guarantees no node ever holds more than ~LoadFactor times its fair share.
+
+// ringPoint is one virtual node position on the hash ring.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// RingConfig parameterises the placement ring.
+type RingConfig struct {
+	// Replicas is the number of virtual points per node (more points,
+	// smoother balance, slower rebuild). Default 64.
+	Replicas int
+
+	// LoadFactor bounds any node's load at ceil(LoadFactor·K/M) keys.
+	// Default 1.25 — the classic bounded-load sweet spot: near-minimal
+	// disruption with max/mean load provably ≤ LoadFactor (+ the ceiling's
+	// rounding) for K ≳ 4M.
+	LoadFactor float64
+
+	// Seed perturbs every ring hash, so two clusters with different seeds
+	// place streams independently.
+	Seed int64
+}
+
+func (c RingConfig) withDefaults() RingConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.LoadFactor <= 1 {
+		c.LoadFactor = 1.25
+	}
+	return c
+}
+
+// Ring is a bounded-load consistent-hash ring over integer node IDs.
+// Methods are not safe for concurrent use; the cluster simulator drives it
+// from its single event-loop goroutine.
+type Ring struct {
+	cfg    RingConfig
+	nodes  []int       // sorted node IDs
+	points []ringPoint // sorted by (hash, node)
+}
+
+// NewRing builds an empty ring.
+func NewRing(cfg RingConfig) *Ring {
+	return &Ring{cfg: cfg.withDefaults()}
+}
+
+// Nodes returns the ring's node IDs in ascending order (shared slice; do
+// not mutate).
+func (r *Ring) Nodes() []int { return r.nodes }
+
+// Len returns the number of nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Has reports whether the node is on the ring.
+func (r *Ring) Has(node int) bool {
+	i := sort.SearchInts(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// Add places a node on the ring. Adding a present node is a no-op.
+func (r *Ring) Add(node int) {
+	if r.Has(node) {
+		return
+	}
+	i := sort.SearchInts(r.nodes, node)
+	r.nodes = append(r.nodes, 0)
+	copy(r.nodes[i+1:], r.nodes[i:])
+	r.nodes[i] = node
+	for rep := 0; rep < r.cfg.Replicas; rep++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(r.cfg.Seed, uint64(node), uint64(rep), 0xA11CE), node: node})
+	}
+	sortPoints(r.points)
+}
+
+// Remove takes a node off the ring. Removing an absent node is a no-op.
+func (r *Ring) Remove(node int) {
+	if !r.Has(node) {
+		return
+	}
+	i := sort.SearchInts(r.nodes, node)
+	r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// sortPoints orders ring points by (hash, node) — the node tiebreak keeps
+// the walk order deterministic even on (astronomically unlikely) hash
+// collisions.
+func sortPoints(ps []ringPoint) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].hash != ps[j].hash {
+			return ps[i].hash < ps[j].hash
+		}
+		return ps[i].node < ps[j].node
+	})
+}
+
+// Cap returns the bounded-load per-node cap for k keys: the maximum of
+// ceil(k/M) (feasibility: the keys must fit) and floor(LoadFactor·k/M)
+// (the balance bound ceil would loosen past LoadFactor on non-divisible
+// loads).
+func (r *Ring) Cap(k int) int {
+	m := len(r.nodes)
+	if m == 0 || k <= 0 {
+		return 0
+	}
+	fair := (k + m - 1) / m
+	bounded := int(r.cfg.LoadFactor * float64(k) / float64(m))
+	if bounded > fair {
+		return bounded
+	}
+	return fair
+}
+
+// Assign maps every key to a node under the bounded-load walk, processing
+// keys in ascending order so the assignment is a deterministic function of
+// (key set, ring state). Returns key→node. Panics if the ring is empty —
+// the cluster simulator guarantees at least one node is always up.
+func (r *Ring) Assign(keys []int) map[int]int {
+	if len(r.nodes) == 0 {
+		panic("cluster: assigning streams on an empty ring")
+	}
+	sorted := append([]int(nil), keys...)
+	sort.Ints(sorted)
+	cap := r.Cap(len(sorted))
+	load := make(map[int]int, len(r.nodes))
+	out := make(map[int]int, len(sorted))
+	for _, k := range sorted {
+		n := r.walk(k, func(node int) bool { return load[node] < cap })
+		load[n]++
+		out[k] = n
+	}
+	return out
+}
+
+// Owner returns the unbounded consistent-hash owner of a key: the first
+// node clockwise from the key's ring position, ignoring load caps. The
+// simulator uses it for single-stream placement decisions (migration
+// targets); bulk placement goes through Assign.
+func (r *Ring) Owner(key int) int {
+	if len(r.nodes) == 0 {
+		panic("cluster: looking up a stream on an empty ring")
+	}
+	return r.walk(key, func(int) bool { return true })
+}
+
+// walk finds the first acceptable node clockwise from the key's position.
+// If every node rejects (all at cap — impossible when cap·M ≥ K), it
+// falls back to the key's unbounded owner.
+func (r *Ring) walk(key int, ok func(node int) bool) int {
+	h := ringHash(r.cfg.Seed, uint64(key), 0, 0x5EED)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[int]bool, len(r.nodes))
+	for off := 0; off < len(r.points); off++ {
+		p := r.points[(i+off)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		if ok(p.node) {
+			return p.node
+		}
+		if len(seen) == len(r.nodes) {
+			break
+		}
+	}
+	return r.points[i%len(r.points)].node
+}
+
+// ringHash mixes the seed and identifiers through a splitmix64-style
+// finaliser — the same hashing idiom the fault and load layers use, kept
+// separate from both by the salt so placement never correlates with
+// arrival or fault draws.
+func ringHash(seed int64, a, b, salt uint64) uint64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + a*0xBF58476D1CE4E5B9 + b*0x94D049BB133111EB + salt
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// String renders the ring for debugging: node count and per-node point
+// counts.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring{nodes=%d replicas=%d load_factor=%.2f}", len(r.nodes), r.cfg.Replicas, r.cfg.LoadFactor)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestClusterSweepShape pins the capacity sweep's acceptance shape: every
+// cell conserves frames (lost == 0) through the injected cluster events,
+// adding nodes at a fixed stream count never increases the drop rate, the
+// sweep is deterministic, and the rendered table carries the planning
+// columns.
+func TestClusterSweepShape(t *testing.T) {
+	b := testBundle(t)
+	cfg := ClusterSweepConfig{
+		Streams:         []int{40, 120},
+		Nodes:           []int{2, 6},
+		FPS:             10,
+		FramesPerStream: 6,
+		Workers:         2,
+		EventRate:       2,
+	}
+	res, err := b.Cluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Rows[0].Cells) != 2 {
+		t.Fatalf("sweep shape %dx%d, want 2x2", len(res.Rows), len(res.Rows[0].Cells))
+	}
+	for i, row := range res.Rows {
+		offered := cfg.Streams[i] * cfg.FramesPerStream
+		for j, cell := range row.Cells {
+			if cell.Lost != 0 {
+				t.Fatalf("cell (%d streams, %d nodes) lost %d frames", row.Streams, cfg.Nodes[j], cell.Lost)
+			}
+			if cell.Offered != offered {
+				t.Fatalf("cell (%d streams, %d nodes) offered %d frames, want %d", row.Streams, cfg.Nodes[j], cell.Offered, offered)
+			}
+			if cell.FinalNodes < 1 {
+				t.Fatalf("cell (%d streams, %d nodes) ended with %d nodes", row.Streams, cfg.Nodes[j], cell.FinalNodes)
+			}
+		}
+		// The capacity-planning reading: more nodes, no worse shedding.
+		if first, last := row.Cells[0], row.Cells[len(row.Cells)-1]; last.DropRate > first.DropRate {
+			t.Fatalf("at %d streams, growing the fleet raised the drop rate %.3f -> %.3f",
+				row.Streams, first.DropRate, last.DropRate)
+		}
+	}
+
+	again, err := b.Cluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		for j := range res.Rows[i].Cells {
+			if res.Rows[i].Cells[j] != again.Rows[i].Cells[j] {
+				t.Fatalf("cell (%d,%d) diverges across identical sweeps: %+v vs %+v",
+					i, j, res.Rows[i].Cells[j], again.Rows[i].Cells[j])
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	res.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Cluster capacity (vid)", "streams", "recovery(ms)", "fover", "lost"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printed sweep missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -96,6 +96,48 @@ func (m *Metrics) Observe(name string, v float64) {
 	m.mu.Unlock()
 }
 
+// Merge folds another registry into this one: counters add, gauges keep
+// the maximum (the gauges this codebase records — final virtual time,
+// peak queue depth — are all high-water marks), and histograms append
+// src's samples. The cluster simulator uses it to roll per-node,
+// per-epoch serving registries up into one cluster-wide registry; called
+// in a deterministic (epoch, node) order on deterministic inputs, the
+// merged registry — and its Snapshot — stays byte-identical across runs
+// and worker counts. src is read under its own lock and not mutated.
+func (m *Metrics) Merge(src *Metrics) {
+	if src == nil || src == m {
+		return
+	}
+	src.mu.Lock()
+	counters := make(map[string]int64, len(src.counters))
+	for k, v := range src.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]float64, len(src.gauges))
+	for k, v := range src.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string][]float64, len(src.hists))
+	for k, v := range src.hists {
+		hists[k] = append([]float64(nil), v...)
+	}
+	src.mu.Unlock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range counters {
+		m.counters[k] += v
+	}
+	for k, v := range gauges {
+		if cur, ok := m.gauges[k]; !ok || v > cur {
+			m.gauges[k] = v
+		}
+	}
+	for k, v := range hists {
+		m.hists[k] = append(m.hists[k], v...)
+	}
+}
+
 // Count returns the number of samples in the named histogram.
 func (m *Metrics) Count(name string) int {
 	m.mu.Lock()

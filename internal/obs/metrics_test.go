@@ -127,3 +127,52 @@ func TestMetricsConcurrentAccess(t *testing.T) {
 		t.Fatalf("peak = %v, want %d", got, goroutines*perG-1)
 	}
 }
+
+func TestMetricsMerge(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Inc("frames/served", 3)
+	a.Set("time/final_ms", 100)
+	a.SetMax("queue/peak_depth", 2)
+	a.Observe("latency/ms", 10)
+	b.Inc("frames/served", 4)
+	b.Inc("frames/dropped", 1)
+	b.Set("time/final_ms", 80)
+	b.SetMax("queue/peak_depth", 5)
+	b.Observe("latency/ms", 30)
+	b.Observe("queue/wait_ms", 7)
+
+	a.Merge(b)
+	if got := a.Counter("frames/served"); got != 7 {
+		t.Fatalf("merged counter = %d, want 7", got)
+	}
+	if got := a.Counter("frames/dropped"); got != 1 {
+		t.Fatalf("merged new counter = %d, want 1", got)
+	}
+	// Gauges merge as high-water marks: the larger side wins regardless of
+	// which registry held it.
+	if got := a.Gauge("time/final_ms"); got != 100 {
+		t.Fatalf("merged gauge = %v, want 100 (max)", got)
+	}
+	if got := a.Gauge("queue/peak_depth"); got != 5 {
+		t.Fatalf("merged peak gauge = %v, want 5 (max)", got)
+	}
+	if got := a.Count("latency/ms"); got != 2 {
+		t.Fatalf("merged hist count = %d, want 2", got)
+	}
+	if got := a.Quantile("latency/ms", 1.0); got != 30 {
+		t.Fatalf("merged hist max = %v, want 30", got)
+	}
+	if got := a.Count("queue/wait_ms"); got != 1 {
+		t.Fatalf("merged new hist count = %d, want 1", got)
+	}
+	// The source registry must not be mutated by the merge.
+	if b.Counter("frames/served") != 4 || b.Count("latency/ms") != 1 {
+		t.Fatal("Merge mutated its source registry")
+	}
+	// Self-merge and nil-merge are no-ops, not double counts.
+	a.Merge(a)
+	a.Merge(nil)
+	if got := a.Counter("frames/served"); got != 7 {
+		t.Fatalf("self/nil merge changed counter to %d, want 7", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"adascale/internal/adascale"
+	"adascale/internal/cluster"
 	"adascale/internal/experiments"
 	"adascale/internal/faults"
 	"adascale/internal/serve"
@@ -96,6 +97,14 @@ func TestGoldenExperiments(t *testing.T) {
 		QueueDepth:      4,
 		SLOMS:           80,
 	}
+	clusterCfg := experiments.ClusterSweepConfig{
+		Streams:         []int{30, 90},
+		Nodes:           []int{2, 4},
+		FPS:             10,
+		FramesPerStream: 6,
+		Workers:         2,
+		EventRate:       2,
+	}
 	cases := []struct {
 		name    string
 		produce func() (experiments.Printer, error)
@@ -112,6 +121,7 @@ func TestGoldenExperiments(t *testing.T) {
 		{"robustness", func() (experiments.Printer, error) { return b.Robustness([]float64{0, 0.2}, 60) }},
 		{"serving", func() (experiments.Printer, error) { return b.Serving(servingCfg) }},
 		{"chaos", func() (experiments.Printer, error) { return b.Chaos(chaosCfg) }},
+		{"cluster", func() (experiments.Printer, error) { return b.Cluster(clusterCfg) }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -196,4 +206,49 @@ func TestGoldenChaosServe(t *testing.T) {
 		return rep.Metrics.Snapshot() + "health: " + rep.Summary.String() + "\n"
 	})
 	Golden(t, "serve_chaos", trace)
+}
+
+// TestGoldenClusterSnapshot pins a full cluster simulation — streams
+// sharded across simulated nodes by the bounded-load ring, a blackout that
+// outlives its epoch (cross-node failover carrying session checkpoints), a
+// node join, a graceful leave and a forced stream migration — byte for
+// byte at workers 1 and 4. The trace is the cluster report (which carries
+// the conservation identity: lost=0) plus the merged cluster-wide metrics
+// snapshot.
+func TestGoldenClusterSnapshot(t *testing.T) {
+	b := conformanceBundle(t)
+	sys := b.DefaultSystem()
+	plan := &cluster.Plan{Events: []cluster.Event{
+		{AtMS: 100, Kind: cluster.EvJoin},
+		{AtMS: 150, Kind: cluster.EvBlackout, Node: 1, DurationMS: 700},
+		{AtMS: 700, Kind: cluster.EvMigrate, Stream: 2},
+		{AtMS: 900, Kind: cluster.EvLeave, Node: 0},
+	}}
+	trace := AtWorkers(t, func() string {
+		load, err := serve.GenLoad(b.DS.Val, serve.LoadConfig{
+			Streams: 8, FPS: 15, FramesPerStream: 14, Seed: 77,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := cluster.New(sys.Detector, sys.Regressor, cluster.Config{
+			Nodes: 3, EpochMS: 400, Plan: plan,
+			Node: serve.Config{
+				Workers: 2, QueueDepth: 4, SLOMS: 80,
+				Resilient: adascale.DefaultResilientConfig(),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cl.Run(load)
+		if n := rep.Lost(); n != 0 {
+			t.Fatalf("cluster run lost %d frames (neither served nor dropped)", n)
+		}
+		if rep.Failovers == 0 {
+			t.Fatal("golden cluster plan produced no cross-node failover")
+		}
+		return rep.String() + rep.Metrics.Snapshot()
+	})
+	Golden(t, "cluster_snapshot", trace)
 }

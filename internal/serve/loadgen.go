@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"adascale/internal/adascale"
 	"adascale/internal/synth"
 )
 
@@ -30,6 +31,13 @@ type TimedFrame struct {
 type Stream struct {
 	ID     int
 	Frames []TimedFrame
+
+	// Checkpoint, when non-nil, seeds the stream's resilient session from
+	// a prior run's ladder state instead of a fresh session — how the
+	// cluster layer (internal/cluster) carries a stream's scale schedule,
+	// last-good detections and deadline budget across epoch windows and
+	// node migrations. GenLoad leaves it nil (fresh streams).
+	Checkpoint *adascale.SessionCheckpoint
 }
 
 // LoadConfig parameterises the generator.

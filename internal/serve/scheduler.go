@@ -150,7 +150,9 @@ func (l *eventLoop) arrive(ev event) {
 	}
 	if dropped := s.push(queuedFrame{Frame: tf.Frame, ArrivalMS: tf.ArrivalMS}, depth); dropped != nil {
 		l.metrics.Inc("frames/dropped", 1)
-		l.metrics.Inc(fmt.Sprintf("stream/%d/dropped", s.id), 1)
+		if !l.cfg.CompactMetrics {
+			l.metrics.Inc(fmt.Sprintf("stream/%d/dropped", s.id), 1)
+		}
 	}
 	l.metrics.Observe("queue/depth", float64(s.queue.Len()))
 	l.metrics.SetMax("queue/peak_depth", float64(s.queue.Len()))
@@ -320,7 +322,12 @@ func (l *eventLoop) dispatchInflight(i, w int, inf *inflightFrame) {
 		serviceMS = simclock.DetectorBaseMS + inf.plan.JitterMS
 	} else {
 		serviceMS = inf.serviceMS
-		l.submitCompute(inf)
+		if !l.cfg.ModelOnly {
+			// Model-only runs leave inf.res nil, so settle takes the
+			// propagation path: pure bookkeeping on the virtual clock, no
+			// detector compute.
+			l.submitCompute(inf)
+		}
 	}
 	l.place(i, inf, w, serviceMS)
 }
@@ -460,7 +467,9 @@ func (l *eventLoop) settle(i int, inf *inflightFrame, cr computeResult) {
 	s.outputs = append(s.outputs, out)
 
 	l.metrics.Inc("frames/served", 1)
-	l.metrics.Inc(fmt.Sprintf("stream/%d/served", s.id), 1)
+	if !l.cfg.CompactMetrics {
+		l.metrics.Inc(fmt.Sprintf("stream/%d/served", s.id), 1)
+	}
 	l.metrics.Inc(fmt.Sprintf("scale/%d", out.Scale), 1)
 	l.metrics.Observe("latency/ms", latency)
 	l.metrics.Observe("service/ms", l.clockMS-inf.startMS)
@@ -485,7 +494,9 @@ func (l *eventLoop) settle(i int, inf *inflightFrame, cr computeResult) {
 	if sloMissed {
 		s.sloMiss++
 		l.metrics.Inc("slo/miss", 1)
-		l.metrics.Inc(fmt.Sprintf("stream/%d/slo_miss", s.id), 1)
+		if !l.cfg.CompactMetrics {
+			l.metrics.Inc(fmt.Sprintf("stream/%d/slo_miss", s.id), 1)
+		}
 	}
 	l.trace(s, out, cr, inf.startMS, sloMissed)
 }

@@ -104,6 +104,28 @@ type Config struct {
 	// as it was before tracing existed.
 	Tracer *obs.Tracer
 
+	// ModelOnly serves every frame entirely on the modelled virtual clock:
+	// the scheduler never creates the compute pool and never ships a
+	// detector/regressor pass to a worker, so each non-skipped frame
+	// settles through the session's propagation path (nil result). Queue
+	// dynamics, latency/SLO accounting, drops, retries and recovery are
+	// exactly what a real run would produce — only the detection content
+	// is absent. The cluster capacity sweeps (internal/cluster,
+	// internal/experiments.Cluster) use this to simulate 10k+ streams in
+	// seconds. Note the breaker never sees a detector success in this
+	// mode, so an opened breaker stays open; model-only chaos runs measure
+	// scheduling, not breaker recovery.
+	ModelOnly bool
+
+	// CompactMetrics suppresses the per-stream metric keys
+	// (stream/<id>/served, stream/<id>/dropped, stream/<id>/slo_miss and
+	// the per-stream stage histograms): a cluster node serving tens of
+	// thousands of streams would otherwise spend most of its time and
+	// memory on snapshot keys nobody reads. Aggregate metrics are
+	// unaffected; the default (false) keeps snapshots byte-identical to
+	// the committed goldens.
+	CompactMetrics bool
+
 	// Chaos, when non-nil, runs the server under the given system fault
 	// plan (faults.GenSystemPlan): worker kills, worker stalls, node
 	// blackouts and queue-saturation windows are applied at their plan
@@ -202,6 +224,13 @@ type StreamReport struct {
 	// SLOMisses counts served frames whose end-to-end latency exceeded
 	// the SLO.
 	SLOMisses int
+
+	// Checkpoint is the stream's resilient-session ladder state after its
+	// last served frame. Restored into a later run's Stream.Checkpoint it
+	// continues the stream exactly where this run left it — the
+	// cross-window (and, in the cluster layer, cross-node) migration
+	// contract.
+	Checkpoint adascale.SessionCheckpoint
 }
 
 // Report is the outcome of one Run.
@@ -285,21 +314,27 @@ func (s *Server) Run(streams []Stream) *Report {
 			id:   st.ID,
 			sess: adascale.NewResilientSession(s.reg.Kernels, s.cfg.Resilient),
 		}
+		if st.Checkpoint != nil {
+			sessions[i].sess.Restore(*st.Checkpoint)
+		}
 	}
-
-	// A job panic rebuilds the worker's state inside the pool; the hook
-	// makes that rebuild visible in the metrics snapshot.
-	pool := parallel.NewPoolHooked(s.cfg.Workers, func() workerState {
-		return workerState{det: s.det.Clone(), reg: s.reg.Clone()}
-	}, func(any) { m.Inc("pool/panic_rebuild", 1) })
-	defer pool.Close()
 
 	loop := &eventLoop{
 		cfg:      s.cfg,
 		metrics:  m,
-		pool:     pool,
 		streams:  admitted,
 		sessions: sessions,
+	}
+	if !s.cfg.ModelOnly {
+		// A job panic rebuilds the worker's state inside the pool; the hook
+		// makes that rebuild visible in the metrics snapshot. Model-only
+		// runs never submit compute, so they skip the pool (and its
+		// per-worker detector/regressor clones) entirely.
+		pool := parallel.NewPoolHooked(s.cfg.Workers, func() workerState {
+			return workerState{det: s.det.Clone(), reg: s.reg.Clone()}
+		}, func(any) { m.Inc("pool/panic_rebuild", 1) })
+		defer pool.Close()
+		loop.pool = pool
 	}
 	if s.cfg.Chaos != nil {
 		loop.sup = newSupervisor(s.cfg.Chaos, s.cfg.Supervisor, s.cfg.SLOMS,
@@ -311,11 +346,12 @@ func (s *Server) Run(streams []Stream) *Report {
 	m.Set("time/final_ms", loop.clockMS)
 	for i, sess := range sessions {
 		rep.Streams = append(rep.Streams, StreamReport{
-			ID:        sess.id,
-			Offered:   len(admitted[i].Frames),
-			Outputs:   sess.outputs,
-			Dropped:   sess.dropped,
-			SLOMisses: sess.sloMiss,
+			ID:         sess.id,
+			Offered:    len(admitted[i].Frames),
+			Outputs:    sess.outputs,
+			Dropped:    sess.dropped,
+			SLOMisses:  sess.sloMiss,
+			Checkpoint: sess.sess.Checkpoint(),
 		})
 	}
 	rep.Summary = adascale.Summarize(rep.Served())

@@ -66,6 +66,7 @@ gate "fuzz-nms" go test -run='^$' -fuzz='^FuzzNMS$' -fuzztime=5s ./internal/dete
 gate "fuzz-evaluate" go test -run='^$' -fuzz='^FuzzEvaluate$' -fuzztime=5s ./internal/eval
 gate "fuzz-loadgen" go test -run='^$' -fuzz='^FuzzLoadgen$' -fuzztime=5s ./internal/serve
 gate "fuzz-ingest" go test -run='^$' -fuzz='^FuzzIngestDecode$' -fuzztime=5s ./internal/server
+gate "fuzz-cluster" go test -run='^$' -fuzz='^FuzzClusterEvents$' -fuzztime=5s ./internal/cluster
 
 # End-to-end serving gate under the race detector: 200 simulated frames
 # across 4 streams at an unloaded rate must serve with zero drops and a
@@ -84,6 +85,12 @@ gate "chaos-smoke" ./scripts/chaos-smoke.sh
 # typed 400s, ingestion, results, Prometheus /metrics), then SIGTERM and
 # require a graceful drain with zero admitted-frame loss.
 gate "http-smoke" ./scripts/http-smoke.sh
+
+# Cluster-scale gate: a 1k-stream / 4-node model-only cluster simulation
+# under the race detector, twice — asserting zero lost frames through
+# sharding, blackout failover and migration, and byte-identical reports
+# across the two runs.
+gate "cluster-smoke" ./scripts/cluster-smoke.sh
 
 # Benchmark-report gates: the diff tool must localise a synthetic
 # single-stage regression (its self-validation), and the committed
