@@ -297,8 +297,10 @@ func MeanScale(outputs []FrameOutput) float64 { return adascale.MeanScale(output
 type (
 	// ServeConfig parameterises the multi-stream server: serving capacity,
 	// per-stream queue depth (drop-oldest beyond it), admission-control
-	// limit, and the per-frame latency SLO that walks overloaded streams
-	// down the scale ladder.
+	// limit, the per-frame latency SLO that walks overloaded streams
+	// down the scale ladder, and the cross-stream detector batch cap
+	// (BatchCap — wall-clock compute only; outputs are identical at any
+	// cap, DESIGN.md §4k).
 	ServeConfig = serve.Config
 	// Server schedules N concurrent video sessions onto the worker pool.
 	Server = serve.Server

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"adascale/internal/adascale"
+	"adascale/internal/obs"
+	"adascale/internal/serve"
+)
+
+// BatchingConfig sizes the cross-stream batching sweep.
+type BatchingConfig struct {
+	// StreamCounts are the concurrency levels to sweep; defaults to
+	// {8, 16}.
+	StreamCounts []int
+
+	// Caps are the BatchCap values to sweep at each concurrency. The
+	// first cap is the identity baseline every other cap is checked
+	// against; defaults to {1, 4, 8}.
+	Caps []int
+
+	// Workers is the serving capacity; defaults to 8 so batches have
+	// enough simultaneously-in-flight frames to coalesce.
+	Workers int
+
+	// FPS is the mean per-stream arrival rate; defaults to 30 — past the
+	// default worker capacity at both stream counts, so frames actually
+	// overlap in flight (an unloaded sweep has nothing to coalesce).
+	FPS float64
+
+	// FramesPerStream sizes each stream; defaults to 40.
+	FramesPerStream int
+
+	// QueueDepth bounds each stream's queue; defaults to 8.
+	QueueDepth int
+}
+
+// DefaultBatchingConfig returns the standard sweep sizing.
+func DefaultBatchingConfig() BatchingConfig {
+	return BatchingConfig{
+		StreamCounts:    []int{8, 16},
+		Caps:            []int{1, 4, 8},
+		Workers:         8,
+		FPS:             30,
+		FramesPerStream: 40,
+		QueueDepth:      8,
+	}
+}
+
+func (c BatchingConfig) withDefaults() BatchingConfig {
+	if len(c.StreamCounts) == 0 {
+		c.StreamCounts = []int{8, 16}
+	}
+	if len(c.Caps) == 0 {
+		c.Caps = []int{1, 4, 8}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.FPS <= 0 {
+		c.FPS = 30
+	}
+	if c.FramesPerStream <= 0 {
+		c.FramesPerStream = 40
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	return c
+}
+
+// BatchingRow is one (stream count, batch cap) cell of the sweep.
+type BatchingRow struct {
+	Streams int
+	Cap     int
+
+	// NsPerFrame and AllocsPerFrame are measured wall time and heap
+	// allocations per served frame for the whole serving run — machine-
+	// dependent throughput numbers, not accuracy metrics.
+	NsPerFrame     float64
+	AllocsPerFrame float64
+
+	// DetectNsPerFrame localises the win: NsPerFrame apportioned to the
+	// detect stage by the run's deterministic virtual-time share (the
+	// same apportionment BENCH_4.json stage breakdowns use), so the
+	// batching delta is read off the stage it targets.
+	DetectNsPerFrame float64
+
+	// Occupancy is the mean frames per batched backbone pass (1 when
+	// batching is off).
+	Occupancy float64
+}
+
+// BatchingResult is the streams × cap grid of the batching experiment.
+type BatchingResult struct {
+	Dataset string
+	Cfg     BatchingConfig
+	Rows    []BatchingRow
+}
+
+// Batching sweeps cross-stream detector batching: for each concurrency it
+// serves the identical seeded load at every BatchCap and measures wall
+// time and allocations per frame, with the detect-stage share split out.
+// Before reporting, every cell is checked byte-identical to the cap
+// baseline — same served outputs, same metric snapshot minus the batch/*
+// occupancy keys — so the sweep doubles as an end-to-end proof of the
+// zero-added-latency contract; any divergence is an error, not a row.
+func (b *Bundle) Batching(cfg BatchingConfig) (*BatchingResult, error) {
+	cfg = cfg.withDefaults()
+	sys := b.DefaultSystem()
+	res := &BatchingResult{Dataset: b.Cfg.Dataset, Cfg: cfg}
+
+	for _, streams := range cfg.StreamCounts {
+		load, err := serve.GenLoad(b.DS.Val, serve.LoadConfig{
+			Streams:         streams,
+			FPS:             cfg.FPS,
+			FramesPerStream: cfg.FramesPerStream,
+			Seed:            b.Cfg.Seed + 619,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var baseOut []adascale.FrameOutput
+		var baseSnap string
+		for ci, cap := range cfg.Caps {
+			// Each cell gets its own virtual tracer: the detect-stage
+			// share it yields is deterministic and identical across caps
+			// (virtual spans never see wall time), which is exactly what
+			// lets the wall-clock delta be attributed to the stage.
+			tr := obs.NewTracer()
+			srv, err := serve.New(sys.Detector, sys.Regressor, serve.Config{
+				Workers:    cfg.Workers,
+				QueueDepth: cfg.QueueDepth,
+				BatchCap:   cap,
+				Resilient:  adascale.DefaultResilientConfig(),
+				Tracer:     tr,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			rep := srv.Run(load)
+			wallNS := float64(time.Since(start).Nanoseconds())
+			runtime.ReadMemStats(&ms1)
+
+			outputs := rep.Served()
+			snap := stripBatchKeys(rep.Metrics.Snapshot())
+			if ci == 0 {
+				baseOut, baseSnap = outputs, snap
+			} else if err := sameServed(baseOut, outputs); err != nil {
+				return nil, fmt.Errorf("experiments: batching cap %d diverges from cap %d at %d streams: %w",
+					cap, cfg.Caps[0], streams, err)
+			} else if snap != baseSnap {
+				return nil, fmt.Errorf("experiments: batching cap %d snapshot diverges from cap %d at %d streams:\n--- cap %d ---\n%s\n--- cap %d ---\n%s",
+					cap, cfg.Caps[0], streams, cfg.Caps[0], baseSnap, cap, snap)
+			}
+
+			served := len(outputs)
+			if served == 0 {
+				return nil, fmt.Errorf("experiments: batching served no frames at %d streams, cap %d", streams, cap)
+			}
+			row := BatchingRow{
+				Streams:        streams,
+				Cap:            cap,
+				NsPerFrame:     wallNS / float64(served),
+				AllocsPerFrame: float64(ms1.Mallocs-ms0.Mallocs) / float64(served),
+				Occupancy:      1,
+			}
+			bd := tr.Breakdown()
+			total := 0.0
+			for _, ms := range bd {
+				total += ms
+			}
+			if total > 0 {
+				row.DetectNsPerFrame = row.NsPerFrame * bd[obs.StageDetect] / total
+			}
+			if occ := rep.Metrics.Gauge("batch/occupancy"); occ > 0 {
+				row.Occupancy = occ
+			}
+			if b.Trace != nil {
+				// Feed the cell spans to the bundle tracer so report mode
+				// apportions this experiment's ns/op across stages too.
+				b.Trace.Add(tr.Spans())
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// stripBatchKeys drops the batch/* metric lines — the only keys batching
+// may add — from a snapshot ("<kind> <name> <value...>" per line).
+func stripBatchKeys(snap string) string {
+	var kept []string
+	for _, line := range strings.Split(snap, "\n") {
+		if f := strings.Fields(line); len(f) >= 2 && strings.HasPrefix(f[1], "batch/") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// sameServed reports the first difference between two served-output
+// sequences: count, scale, health accounting or the detections themselves.
+func sameServed(a, b []adascale.FrameOutput) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("served %d vs %d frames", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Scale != b[i].Scale || a[i].Health != b[i].Health ||
+			!reflect.DeepEqual(a[i].Detections, b[i].Detections) {
+			return fmt.Errorf("output %d differs", i)
+		}
+	}
+	return nil
+}
+
+// Metrics flattens the grid into report metrics: per-cell ns/frame,
+// allocs/frame, detect-stage ns/frame and batch occupancy (all wall-clock
+// throughput numbers, unguarded), plus the detect-stage improvement of the
+// largest cap over the cap baseline per stream count.
+func (r *BatchingResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	base := map[int]BatchingRow{}
+	last := map[int]BatchingRow{}
+	for _, row := range r.Rows {
+		key := fmt.Sprintf("s%d_b%d", row.Streams, row.Cap)
+		m["ns_frame/"+key] = row.NsPerFrame
+		m["allocs_frame/"+key] = row.AllocsPerFrame
+		m["detect_ns_frame/"+key] = row.DetectNsPerFrame
+		m["occupancy/"+key] = row.Occupancy
+		if _, ok := base[row.Streams]; !ok {
+			base[row.Streams] = row
+		}
+		last[row.Streams] = row
+	}
+	for streams, b := range base {
+		if l := last[streams]; b.DetectNsPerFrame > 0 && l.Cap != b.Cap {
+			m[fmt.Sprintf("detect_improvement_pct/s%d", streams)] =
+				100 * (1 - l.DetectNsPerFrame/b.DetectNsPerFrame)
+		}
+	}
+	return m
+}
+
+// Print writes the batching grid in paper-table style.
+func (r *BatchingResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Batching (%s): %d workers, %.0f fps/stream, %d frames/stream — identical outputs at every cap (verified)\n",
+		r.Dataset, r.Cfg.Workers, r.Cfg.FPS, r.Cfg.FramesPerStream)
+	header := fmt.Sprintf("%-8s %5s %12s %14s %14s %10s",
+		"streams", "cap", "ns/frame", "detect ns/fr", "allocs/frame", "occupancy")
+	fmt.Fprintln(w, header)
+	printRuler(w, len(header))
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8d %5d %12.0f %14.0f %14.1f %10.2f\n",
+			row.Streams, row.Cap, row.NsPerFrame, row.DetectNsPerFrame,
+			row.AllocsPerFrame, row.Occupancy)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,194 @@
+package rfcn
+
+import (
+	"fmt"
+	"testing"
+
+	"adascale/internal/parallel"
+	"adascale/internal/raster"
+	"adascale/internal/synth"
+	"adascale/internal/tensor"
+)
+
+// batchFrames pulls n distinct frames (cycling snippets) out of a dataset.
+func batchFrames(t *testing.T, ds *synth.Dataset, n int) []*synth.Frame {
+	t.Helper()
+	var frames []*synth.Frame
+	for len(frames) < n {
+		for si := range ds.Train {
+			for fi := range ds.Train[si].Frames {
+				frames = append(frames, &ds.Train[si].Frames[fi])
+				if len(frames) == n {
+					return frames
+				}
+			}
+		}
+	}
+	return frames
+}
+
+func tensorsEqual(t *testing.T, label string, got, want *tensor.Tensor) {
+	t.Helper()
+	gd, wd := got.Data(), want.Data()
+	if len(gd) != len(wd) {
+		t.Fatalf("%s: length %d != %d", label, len(gd), len(wd))
+	}
+	for i := range gd {
+		if gd[i] != wd[i] {
+			t.Fatalf("%s: element %d: %v != %v", label, i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestDetectBatchMatchesSequential pins the serving batcher's core
+// guarantee: DetectBatch is bit-identical to N sequential
+// DetectWithFeatures calls — detections, runtime model and feature maps —
+// across batch sizes, mixed scales (distinct rendered shapes exercise the
+// shape-grouping path) and matmul worker counts.
+func TestDetectBatchMatchesSequential(t *testing.T) {
+	ds := testDataset(t, 31, 6, 0)
+	defer parallel.SetWorkers(0)
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		for _, n := range []int{1, 2, 7, 16} {
+			t.Run(fmt.Sprintf("w%d_n%d", workers, n), func(t *testing.T) {
+				frames := batchFrames(t, ds, n)
+				scales := make([]int, n)
+				for i := range scales {
+					// Mix of rungs, including repeats that batch together
+					// and odd scales that render to odd shapes.
+					scales[i] = []int{600, 400, 600, 320, 480, 600, 400}[i%7]
+				}
+				seqDet := New(&ds.Config, []int{600})
+				batDet := New(&ds.Config, []int{600})
+				want := make([]*Result, n)
+				for i := range frames {
+					want[i] = seqDet.DetectWithFeatures(frames[i], scales[i])
+				}
+				got := batDet.DetectBatch(frames, scales)
+				for i := range frames {
+					g, w := got[i], want[i]
+					if len(g.Detections) != len(w.Detections) {
+						t.Fatalf("frame %d: %d detections != %d", i, len(g.Detections), len(w.Detections))
+					}
+					for j := range g.Detections {
+						if g.Detections[j].Detection != w.Detections[j].Detection {
+							t.Fatalf("frame %d detection %d differs", i, j)
+						}
+					}
+					if g.RuntimeMS != w.RuntimeMS {
+						t.Fatalf("frame %d runtime %v != %v", i, g.RuntimeMS, w.RuntimeMS)
+					}
+					tensorsEqual(t, fmt.Sprintf("frame %d features", i), g.Features, w.Features)
+				}
+			})
+		}
+	}
+}
+
+// TestExtractBatchMatchesExtract checks the backbone layer directly,
+// including a batch whose images span several distinct sizes (so both the
+// singleton path and the grouped batched path run).
+func TestExtractBatchMatchesExtract(t *testing.T) {
+	ds := testDataset(t, 32, 4, 0)
+	frames := batchFrames(t, ds, 7)
+	det := NewSS(&ds.Config)
+	scales := []int{600, 600, 400, 320, 400, 600, 240}
+	ims := make([]*raster.Image, len(frames))
+	for i, f := range frames {
+		ims[i] = det.renderForScale(f, scales[i])
+	}
+	seq := NewBackbone()
+	bat := NewBackbone()
+	want := make([]*tensor.Tensor, len(ims))
+	for i, im := range ims {
+		want[i] = seq.Extract(im)
+	}
+	got := bat.ExtractBatch(ims)
+	for i := range ims {
+		tensorsEqual(t, fmt.Sprintf("image %d (%dx%d)", i, ims[i].H, ims[i].W), got[i], want[i])
+	}
+}
+
+// TestDetectBatchSteadyStateAllocs proves the pool actually recycles the
+// batched path's buffers: after warm-up, repeated DetectBatch calls on the
+// same frames keep the backbone/feature side near allocation-free (the
+// remaining small allocations are the per-call result slices and Detect's
+// own bookkeeping, identical to the sequential path).
+func TestDetectBatchSteadyStateAllocs(t *testing.T) {
+	ds := testDataset(t, 33, 4, 0)
+	frames := batchFrames(t, ds, 8)
+	scales := make([]int, len(frames))
+	for i := range scales {
+		scales[i] = 600
+	}
+	det := NewSS(&ds.Config)
+	run := func() {
+		rs := det.DetectBatch(frames, scales)
+		for _, r := range rs {
+			det.Recycle(r.Features)
+			r.Release()
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run() // warm pools and render caches
+	}
+	allocs := testing.AllocsPerRun(5, run)
+	// Sequential DetectWithFeatures costs ~a few dozen small allocations per
+	// frame from Detect's modelling; the batched feature path must not add
+	// tensor-sized allocations on top. 150 per frame is far below one
+	// feature-map allocation (the smallest pooled tensor here is tens of KiB,
+	// and a leak would show up as thousands of floats per frame).
+	if perFrame := allocs / float64(len(frames)); perFrame > 150 {
+		t.Fatalf("steady-state DetectBatch allocates %.1f objects/frame; pooling is broken", perFrame)
+	}
+}
+
+// BenchmarkDetectBatch compares the batched detector path against N
+// sequential DetectWithFeatures calls at serving-realistic scales; the
+// per-frame numbers localise the cross-stream batching win to the backbone.
+func BenchmarkDetectBatch(b *testing.B) {
+	cfg := synth.VIDLike(41)
+	cfg.FramesPerSnippet = 4
+	ds, err := synth.Generate(cfg, 6, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var frames []*synth.Frame
+	for si := range ds.Train {
+		for fi := range ds.Train[si].Frames {
+			frames = append(frames, &ds.Train[si].Frames[fi])
+		}
+	}
+	for _, scale := range []int{600, 400, 320, 240} {
+		for _, n := range []int{1, 2, 4, 8} {
+			fs := frames[:n]
+			scales := make([]int, n)
+			for i := range scales {
+				scales[i] = scale
+			}
+			b.Run(fmt.Sprintf("seq/s%d/n%d", scale, n), func(b *testing.B) {
+				det := NewSS(&ds.Config)
+				for i := 0; i < b.N; i++ {
+					for j := range fs {
+						r := det.DetectWithFeatures(fs[j], scales[j])
+						det.Recycle(r.Features)
+						r.Release()
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/frame")
+			})
+			b.Run(fmt.Sprintf("batch/s%d/n%d", scale, n), func(b *testing.B) {
+				det := NewSS(&ds.Config)
+				for i := 0; i < b.N; i++ {
+					rs := det.DetectBatch(fs, scales)
+					for _, r := range rs {
+						det.Recycle(r.Features)
+						r.Release()
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/frame")
+			})
+		}
+	}
+}

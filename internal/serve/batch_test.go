@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adascale/internal/adascale"
+	"adascale/internal/faults"
+)
+
+// stripBatchMetrics removes the batch/* keys from a snapshot: they are the
+// only lines batching is allowed to add, so everything else must stay
+// byte-identical to the unbatched run.
+func stripBatchMetrics(snap string) string {
+	var kept []string
+	for _, line := range strings.Split(snap, "\n") {
+		// Snapshot lines read "<kind> <name> <value...>".
+		if f := strings.Fields(line); len(f) >= 2 && strings.HasPrefix(f[1], "batch/") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// sameOutputs fails the test unless the two runs served identical frames:
+// same count, and per frame the same scale, detections (struct equality,
+// which covers boxes, scores and classes) and health accounting.
+func sameOutputs(t *testing.T, av, bv []adascale.FrameOutput, label string) {
+	t.Helper()
+	if len(av) == 0 || len(av) != len(bv) {
+		t.Fatalf("%s: served %d and %d frames", label, len(av), len(bv))
+	}
+	for i := range av {
+		if av[i].Scale != bv[i].Scale || av[i].Health != bv[i].Health ||
+			!reflect.DeepEqual(av[i].Detections, bv[i].Detections) {
+			t.Fatalf("%s: output %d diverges", label, i)
+		}
+	}
+}
+
+// TestServeBatchingByteIdentical pins the tentpole's zero-added-latency
+// contract: batching only coalesces work that is already simultaneously in
+// flight, so at every cap and worker count the served outputs and the
+// metric snapshot (minus the batch/* occupancy keys) are byte-identical to
+// the legacy single-frame dispatch path.
+func TestServeBatchingByteIdentical(t *testing.T) {
+	ds, sys := system(t)
+	for _, workers := range []int{1, 4} {
+		run := func(cap int) *Report {
+			cfg := Config{
+				Workers: workers, QueueDepth: 4, SLOMS: 100, BatchCap: cap,
+				Resilient: adascale.DefaultResilientConfig(),
+			}
+			return newServer(t, sys, cfg).Run(load(t, ds, 8, 30, 20, 5))
+		}
+		base := run(0)
+		baseSnap := base.Metrics.Snapshot()
+		if strings.Contains(baseSnap, "batch/") {
+			t.Fatalf("workers=%d: unbatched snapshot contains batch/* keys:\n%s", workers, baseSnap)
+		}
+		// Cap 1 is documented as the legacy path: snapshot identical with
+		// no stripping at all.
+		if snap := run(1).Metrics.Snapshot(); snap != baseSnap {
+			t.Fatalf("workers=%d: BatchCap=1 snapshot differs from BatchCap=0:\n--- cap 0 ---\n%s\n--- cap 1 ---\n%s", workers, baseSnap, snap)
+		}
+		for _, cap := range []int{2, 4, 16} {
+			r := run(cap)
+			if snap := stripBatchMetrics(r.Metrics.Snapshot()); snap != stripBatchMetrics(baseSnap) {
+				t.Fatalf("workers=%d cap=%d: snapshot diverges from unbatched run:\n--- cap 0 ---\n%s\n--- cap %d ---\n%s",
+					workers, cap, baseSnap, cap, r.Metrics.Snapshot())
+			}
+			sameOutputs(t, base.Served(), r.Served(), "batched vs unbatched")
+		}
+	}
+}
+
+// TestServeBatchingCoalesces asserts batching actually happens under
+// concurrent load — occupancy above one — and that its accounting is
+// exhaustive: every frame that reached a detector went through a batch
+// job, none twice.
+func TestServeBatchingCoalesces(t *testing.T) {
+	ds, sys := system(t)
+	cfg := Config{
+		Workers: 8, QueueDepth: 4, SLOMS: 100, BatchCap: 8,
+		Resilient: adascale.DefaultResilientConfig(),
+	}
+	r := newServer(t, sys, cfg).Run(load(t, ds, 8, 30, 20, 5))
+	m := r.Metrics
+	flushes, frames := m.Counter("batch/flushes"), m.Counter("batch/frames")
+	if flushes == 0 {
+		t.Fatal("no batch flushes recorded under 8 concurrent streams")
+	}
+	if want := m.Counter("frames/served") - m.Counter("frames/skipped"); frames != want {
+		t.Fatalf("batch/frames = %d, want %d (served minus skipped): batched dispatch must cover every detector pass exactly once", frames, want)
+	}
+	if occ := m.Gauge("batch/occupancy"); occ <= 1 {
+		t.Fatalf("batch occupancy %v: 8 concurrent streams never shared a pass", occ)
+	}
+	if got := float64(frames) / float64(flushes); m.Gauge("batch/occupancy") != got {
+		t.Fatalf("batch/occupancy gauge %v inconsistent with frames/flushes = %v", m.Gauge("batch/occupancy"), got)
+	}
+}
+
+// TestServeBatchingUnderChaos runs the fault plan of the chaos tentpole
+// with batching enabled: dispatches invalidated by kills and blackouts
+// leave stale pending entries behind, retries re-park under fresh result
+// channels, and the run must still be byte-identical to the unbatched
+// chaos run with zero lost frames.
+func TestServeBatchingUnderChaos(t *testing.T) {
+	ds, sys := system(t)
+	plan, err := faults.GenSystemPlan(faults.ScaledSystemConfig(1.5, 41, 1200, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cap int) *Report {
+		cfg := chaosConfig(plan)
+		cfg.BatchCap = cap
+		return newServer(t, sys, cfg).Run(load(t, ds, 4, 20, 20, 31))
+	}
+	base, batched := run(0), run(4)
+	if a, b := stripBatchMetrics(base.Metrics.Snapshot()), stripBatchMetrics(batched.Metrics.Snapshot()); a != b {
+		t.Fatalf("chaos snapshots diverge between caps:\n--- cap 0 ---\n%s\n--- cap 4 ---\n%s", a, b)
+	}
+	sameOutputs(t, base.Served(), batched.Served(), "chaos batched vs unbatched")
+	if lost := batched.Lost(); lost != 0 {
+		t.Fatalf("%d frames lost under chaos with batching", lost)
+	}
+	if base.Metrics.Counter("retry/failures") == 0 {
+		t.Fatal("no dispatch failures recorded; the plan exercised nothing")
+	}
+}
+
+// TestServeBatchCapValidation pins the config contract.
+func TestServeBatchCapValidation(t *testing.T) {
+	cfg := Config{QueueDepth: 1, BatchCap: -1}
+	err := cfg.Validate()
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "BatchCap" {
+		t.Fatalf("got %v, want a *ConfigError on BatchCap", err)
+	}
+}

@@ -67,6 +67,19 @@ type Config struct {
 	// arrival).
 	QueueDepth int
 
+	// BatchCap bounds cross-stream detector batching: frames from
+	// different streams dispatched at the same virtual instant onto the
+	// same scale rung (and rendered at the same size) are coalesced into
+	// one batched backbone pass of at most BatchCap frames. Batches only
+	// ever coalesce work that is already simultaneously in flight — a
+	// pending frame is flushed, with its whole group, no later than its
+	// own completion event — so the virtual schedule, the SLO
+	// accounting and every output are byte-identical at any cap
+	// (DESIGN.md §4k); only wall-clock compute changes. 0 or 1 keeps the
+	// legacy single-frame dispatch path; negative values are rejected by
+	// Validate.
+	BatchCap int
+
 	// MaxStreams is the admission-control capacity: streams beyond it are
 	// rejected at Run start (sessions/rejected metric, Report.Rejected).
 	// 0 means unlimited.
@@ -161,6 +174,9 @@ func (c *Config) Validate() error {
 	}
 	if c.QueueDepth <= 0 {
 		return &ConfigError{Field: "QueueDepth", Reason: fmt.Sprintf("queue capacity %d cannot admit a frame; need >= 1", c.QueueDepth)}
+	}
+	if c.BatchCap < 0 {
+		return &ConfigError{Field: "BatchCap", Reason: fmt.Sprintf("negative batch cap %d; 0 or 1 disables batching", c.BatchCap)}
 	}
 	if c.MaxStreams < 0 {
 		return &ConfigError{Field: "MaxStreams", Reason: fmt.Sprintf("negative MaxStreams %d", c.MaxStreams)}
@@ -324,6 +340,9 @@ func (s *Server) Run(streams []Stream) *Report {
 		metrics:  m,
 		streams:  admitted,
 		sessions: sessions,
+		// The master detector computes batch coalescing keys (pure render
+		// arithmetic, never a forward pass — worker clones do those).
+		det: s.det,
 	}
 	if !s.cfg.ModelOnly {
 		// A job panic rebuilds the worker's state inside the pool; the hook

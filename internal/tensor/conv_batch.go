@@ -1,0 +1,210 @@
+package tensor
+
+// Batched (N-stacked) convolution — the kernel behind the serving layer's
+// cross-stream detector batching. Each image runs through a cache-blocked
+// implicit matmul: bands of output rows are lowered (im2colAt) into a
+// column chunk small enough to live in L2, packed into the matmul's
+// column panels while still resident, and multiplied by the once-packed
+// weight panels — so the (C·K·K)×(Ho·Wo) column matrix, which at serving
+// shapes is far larger than cache, is never materialised or re-read from
+// memory. The weight packing is shared across every image and chunk of the
+// call, which is where the cross-image batching saves work on top of the
+// per-image blocking.
+//
+// Bit-identity with the per-image path: every output element is the
+// float32 dot product of the same weight row with the same lowered column,
+// accumulated in ascending (ci,ky,kx) tap order by the same micro-kernels
+// MatMulInto's packed path uses — the order ConvInto and all of
+// MatMulInto's kernels are documented to share — with the bias added last
+// exactly as ConvInto does. Chunking changes only which columns share a
+// kernel invocation, never any value or accumulation order, so
+// ConvBatchInto(outs, xs, ...) equals N sequential ConvInto(outs[j],
+// xs[j], ...) calls bit for bit, regardless of batch size, blocking or
+// worker count. The property tests in conv_batch_test.go pin this across
+// batch sizes, odd shapes and worker counts.
+//
+// Products too small for packing to pay off fall back to whole-image
+// im2col + MatMulInto, which routes to the serial kernels — bit-identical
+// again.
+
+import "fmt"
+
+// convBatchChunkFloats bounds the per-chunk lowered column block, in
+// floats (1<<14 floats = 64 KiB of float32): the chunk plus its packed
+// copy and the output tile must fit comfortably in a per-core L2.
+const convBatchChunkFloats = 1 << 14
+
+// ConvBatchInto computes outs[j] = conv(xs[j]) for a batch of same-shape
+// C×H×W inputs against one OutC×C×K×K weight tensor and OutC bias vector
+// (nil bias adds nothing). Results are bit-identical to calling ConvInto
+// per image. Scratch buffers come from pool (nil falls back to plain
+// allocation); outs are caller-owned and fully overwritten, and must not
+// alias any input.
+func ConvBatchInto(outs, xs []*Tensor, weight, bias *Tensor, stride, pad int, pool *Pool) {
+	convBatchInto(outs, xs, weight, bias, stride, pad, pool, false)
+}
+
+// ConvBatchAbsInto is ConvBatchInto followed by elementwise magnitude
+// rectification |·|, fused into the pass that already touches every output
+// element — bit-identical to ConvBatchInto plus a separate |·| sweep
+// (rectification is per-element and |s| depends only on s), one full
+// memory pass cheaper. It exists for the backbone's batched inference,
+// whose nonlinearity is the magnitude.
+func ConvBatchAbsInto(outs, xs []*Tensor, weight, bias *Tensor, stride, pad int, pool *Pool) {
+	convBatchInto(outs, xs, weight, bias, stride, pad, pool, true)
+}
+
+func convBatchInto(outs, xs []*Tensor, weight, bias *Tensor, stride, pad int, pool *Pool, rectify bool) {
+	n := len(xs)
+	if len(outs) != n {
+		panic(fmt.Sprintf("tensor: ConvBatchInto got %d outputs for %d inputs", len(outs), n))
+	}
+	if n == 0 {
+		return
+	}
+	if weight.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: ConvBatchInto requires an O×C×K×K weight, got %v", weight.shape))
+	}
+	outC, cin, kernel := weight.Dim(0), weight.Dim(1), weight.Dim(2)
+	c0, h0, w0 := xs[0].Dim(0), xs[0].Dim(1), xs[0].Dim(2)
+	for j, x := range xs {
+		if x.Dims() != 3 || x.Dim(0) != c0 || x.Dim(1) != h0 || x.Dim(2) != w0 {
+			panic(fmt.Sprintf("tensor: ConvBatchInto image %d shape %v differs from %v — batch images must share a shape", j, x.shape, xs[0].shape))
+		}
+	}
+	if c0 != cin {
+		panic(fmt.Sprintf("tensor: ConvBatchInto weight expects %d input channels, images have %d", cin, c0))
+	}
+	ho := ConvOutSize(h0, kernel, stride, pad)
+	wo := ConvOutSize(w0, kernel, stride, pad)
+	n1 := ho * wo
+	ckk := cin * kernel * kernel
+	for j, o := range outs {
+		if o.Dims() != 3 || o.Dim(0) != outC || o.Dim(1) != ho || o.Dim(2) != wo {
+			panic(fmt.Sprintf("tensor: ConvBatchInto output %d shape %v, want [%d %d %d]", j, o.shape, outC, ho, wo))
+		}
+	}
+	var bd []float32
+	if bias != nil {
+		bd = bias.Data()
+	}
+
+	if !usePacked(outC, ckk, n1) {
+		// Small product: whole-image im2col + MatMulInto (serial kernels).
+		convBatchSmall(outs, xs, weight, bd, kernel, stride, pad, ho, wo, pool, rectify)
+		return
+	}
+
+	rowsPer := convBatchChunkFloats / (ckk * wo)
+	if rowsPer < 1 {
+		rowsPer = 1
+	}
+	if rowsPer > ho {
+		rowsPer = ho
+	}
+	nc0 := rowsPer * wo
+	packedA := kernelScratch.Get(outC * ckk)
+	packA(packedA, weight.data, outC, ckk)
+	cols := kernelScratch.Get(ckk * nc0)
+	packedB := kernelScratch.Get(ckk * nc0)
+	for j, x := range xs {
+		od := outs[j].data
+		for oy0 := 0; oy0 < ho; oy0 += rowsPer {
+			oy1 := oy0 + rowsPer
+			if oy1 > ho {
+				oy1 = ho
+			}
+			nc := (oy1 - oy0) * wo
+			im2colAt(cols, nc, 0, x, kernel, stride, pad, oy0, oy1, wo)
+			packB(packedB, cols, ckk, nc)
+			packedBandsAt(od[oy0*wo:], packedA, packedB, outC, ckk, n1, nc)
+		}
+		finishRows(od, bd, outC, n1, rectify)
+	}
+	kernelScratch.Put(packedB)
+	kernelScratch.Put(cols)
+	kernelScratch.Put(packedA)
+}
+
+// packedBandsAt runs the packed micro-kernels over one lowered chunk,
+// writing the nc chunk columns of every output row band into cd, whose
+// rows are rowStride apart (cd is the output data offset to the chunk's
+// first column). Identical structure — and therefore identical per-element
+// accumulation order — to matMulPackedBands.
+func packedBandsAt(cd, packedA, packedB []float32, m, k, rowStride, nc int) {
+	fullN := nc &^ (packNR - 1)
+	bands := (m + packMR - 1) / packMR
+	for band := 0; band < bands; band++ {
+		i := band * packMR
+		rows := m - i
+		if rows >= packMR {
+			ap := packedA[i*k : i*k+k*packMR]
+			for j := 0; j < fullN; j += packNR {
+				micro4x4(cd, packedB[j*k:j*k+k*packNR], ap, i, j, k, rowStride)
+			}
+			if rem := nc - fullN; rem > 0 {
+				microEdge(cd, packedB[fullN*k:fullN*k+k*rem], packedA[i*k:m*k], i, fullN, k, rowStride, packMR, rem, true)
+			}
+		} else {
+			// Last partial band: packedA holds these rows row-major.
+			ap := packedA[i*k : m*k]
+			for j := 0; j < fullN; j += packNR {
+				microEdge(cd, packedB[j*k:j*k+k*packNR], ap, i, j, k, rowStride, rows, packNR, false)
+			}
+			if rem := nc - fullN; rem > 0 {
+				microEdge(cd, packedB[fullN*k:fullN*k+k*rem], ap, i, fullN, k, rowStride, rows, rem, false)
+			}
+		}
+	}
+}
+
+// convBatchSmall is the fallback for products below the packing threshold:
+// per-image im2col into pooled scratch and MatMulInto (which routes to the
+// serial kernels at these sizes), bias last.
+func convBatchSmall(outs, xs []*Tensor, weight *Tensor, bd []float32, kernel, stride, pad, ho, wo int, pool *Pool, rectify bool) {
+	outC := weight.Dim(0)
+	ckk := weight.Dim(1) * kernel * kernel
+	n1 := ho * wo
+	wm := weight.Reshape(outC, ckk)
+	cols := pool.GetTensor(ckk, n1)
+	big := pool.GetTensor(outC, n1)
+	for j, x := range xs {
+		im2colAt(cols.data, n1, 0, x, kernel, stride, pad, 0, ho, wo)
+		MatMulInto(big, wm, cols)
+		od := outs[j].data
+		copy(od, big.data[:outC*n1])
+		finishRows(od, bd, outC, n1, rectify)
+	}
+	pool.PutTensor(big)
+	pool.PutTensor(cols)
+}
+
+// finishRows applies the bias (nil adds nothing) and, when rectify is set,
+// the fused magnitude rectification to an OutC×n1 output block. The bias
+// lands after the full ascending-tap accumulation — the same single add
+// per element as ConvInto — and |s+b| equals a separate rectification pass
+// over the biased result, so both variants stay bit-identical to their
+// unfused counterparts.
+func finishRows(od, bd []float32, outC, n1 int, rectify bool) {
+	for co := 0; co < outC; co++ {
+		row := od[co*n1 : (co+1)*n1]
+		var bv float32
+		if bd != nil {
+			bv = bd[co]
+		}
+		switch {
+		case rectify:
+			for i := range row {
+				v := row[i] + bv
+				if v < 0 {
+					v = -v
+				}
+				row[i] = v
+			}
+		case bd != nil:
+			for i := range row {
+				row[i] += bv
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adascale/internal/parallel"
+)
+
+// TestConvBatchMatchesConvInto pins the batched kernel bit-identical to N
+// sequential fused convolutions across batch sizes, odd spatial shapes and
+// matmul worker counts — the foundation of the serving layer's guarantee
+// that batching never changes a detection bit.
+func TestConvBatchMatchesConvInto(t *testing.T) {
+	shapes := []struct {
+		c, h, w             int
+		outC                int
+		kernel, stride, pad int
+	}{
+		{1, 37, 53, 8, 3, 2, 1},  // conv1-like, odd dims
+		{8, 19, 33, 12, 3, 2, 1}, // conv2-like
+		{12, 9, 17, 12, 3, 2, 1}, // conv3-like
+		{3, 7, 7, 5, 3, 1, 1},    // stride 1
+		{2, 11, 5, 4, 5, 2, 2},   // 5×5 kernel
+	}
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		for _, sh := range shapes {
+			for _, n := range []int{1, 2, 7, 16} {
+				name := fmt.Sprintf("w%d_c%dx%dx%d_n%d", workers, sh.c, sh.h, sh.w, n)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(sh.c*1000 + n)))
+					weight := New(sh.outC, sh.c, sh.kernel, sh.kernel)
+					bias := New(sh.outC)
+					fillRand(weight, rng)
+					fillRand(bias, rng)
+					xs := make([]*Tensor, n)
+					for i := range xs {
+						xs[i] = New(sh.c, sh.h, sh.w)
+						fillRand(xs[i], rng)
+					}
+					ho := ConvOutSize(sh.h, sh.kernel, sh.stride, sh.pad)
+					wo := ConvOutSize(sh.w, sh.kernel, sh.stride, sh.pad)
+					pool := NewPool()
+					batched := make([]*Tensor, n)
+					want := make([]*Tensor, n)
+					for i := range xs {
+						batched[i] = New(sh.outC, ho, wo)
+						want[i] = New(sh.outC, ho, wo)
+						ConvInto(want[i], xs[i], weight, bias, sh.stride, sh.pad)
+					}
+					ConvBatchInto(batched, xs, weight, bias, sh.stride, sh.pad, pool)
+					for i := range xs {
+						gd, wd := batched[i].Data(), want[i].Data()
+						for j := range gd {
+							if gd[j] != wd[j] {
+								t.Fatalf("image %d element %d: batched %v != sequential %v", i, j, gd[j], wd[j])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+	parallel.SetWorkers(0)
+}
+
+// TestConvBatchNilBiasAndPool covers the optional arguments: a nil bias adds
+// nothing and a nil pool falls back to plain allocation.
+func TestConvBatchNilBiasAndPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	weight := New(4, 3, 3, 3)
+	fillRand(weight, rng)
+	xs := make([]*Tensor, 3)
+	for i := range xs {
+		xs[i] = New(3, 13, 11)
+		fillRand(xs[i], rng)
+	}
+	ho := ConvOutSize(13, 3, 2, 1)
+	wo := ConvOutSize(11, 3, 2, 1)
+	got := make([]*Tensor, len(xs))
+	want := make([]*Tensor, len(xs))
+	for i := range xs {
+		got[i] = New(4, ho, wo)
+		want[i] = New(4, ho, wo)
+		ConvInto(want[i], xs[i], weight, nil, 2, 1)
+	}
+	ConvBatchInto(got, xs, weight, nil, 2, 1, nil)
+	for i := range xs {
+		gd, wd := got[i].Data(), want[i].Data()
+		for j := range gd {
+			if gd[j] != wd[j] {
+				t.Fatalf("image %d element %d: %v != %v", i, j, gd[j], wd[j])
+			}
+		}
+	}
+}
+
+// TestConvBatchBlocking forces the cache-blocked path to split each image
+// into several row chunks and checks the chunk boundaries change nothing.
+func TestConvBatchBlocking(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	weight := New(4, 8, 3, 3)
+	bias := New(4)
+	fillRand(weight, rng)
+	fillRand(bias, rng)
+	xs := make([]*Tensor, 3)
+	for i := range xs {
+		xs[i] = New(8, 123, 123)
+		fillRand(xs[i], rng)
+	}
+	ho := ConvOutSize(123, 3, 2, 1)
+	wo := ConvOutSize(123, 3, 2, 1)
+	if rowsPer := convBatchChunkFloats / (8 * 9 * wo); rowsPer >= ho {
+		t.Fatalf("shape too small to force chunking: %d rows per chunk covers all %d", rowsPer, ho)
+	}
+	if !usePacked(4, 8*9, ho*wo) {
+		t.Fatal("shape too small to take the packed path")
+	}
+	pool := NewPool()
+	got := make([]*Tensor, len(xs))
+	want := make([]*Tensor, len(xs))
+	for i := range xs {
+		got[i] = New(4, ho, wo)
+		want[i] = New(4, ho, wo)
+		ConvInto(want[i], xs[i], weight, bias, 2, 1)
+	}
+	ConvBatchInto(got, xs, weight, bias, 2, 1, pool)
+	for i := range xs {
+		gd, wd := got[i].Data(), want[i].Data()
+		for j := range gd {
+			if gd[j] != wd[j] {
+				t.Fatalf("image %d element %d: %v != %v", i, j, gd[j], wd[j])
+			}
+		}
+	}
+}
+
+// TestConvBatchShapeValidation pins the panic contract for malformed input.
+func TestConvBatchShapeValidation(t *testing.T) {
+	weight := New(4, 3, 3, 3)
+	x := New(3, 9, 9)
+	y := New(3, 9, 7) // mismatched shape
+	out := func() *Tensor { return New(4, ConvOutSize(9, 3, 2, 1), ConvOutSize(9, 3, 2, 1)) }
+	cases := map[string]func(){
+		"count mismatch": func() { ConvBatchInto([]*Tensor{out()}, []*Tensor{x, x}, weight, nil, 2, 1, nil) },
+		"mixed shapes":   func() { ConvBatchInto([]*Tensor{out(), out()}, []*Tensor{x, y}, weight, nil, 2, 1, nil) },
+		"bad output":     func() { ConvBatchInto([]*Tensor{New(4, 1, 1)}, []*Tensor{x}, weight, nil, 2, 1, nil) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Batching smoke gate: a loaded multi-stream serve with cross-stream
+# detector batching on (-batch 8), run under the race detector. Three
+# assertions, which together are the batching determinism contract
+# (DESIGN.md §4k):
+#
+#   1. The batched run itself passes -smoke (zero lost streams/frames) —
+#      batching never loses work, even when a batch-mate panics.
+#   2. Its stdout is byte-identical across GOMAXPROCS values: batch
+#      flushes are driven by virtual-clock events, so real parallelism
+#      must not leak into outputs, ticks, or even the batch/* occupancy
+#      metrics.
+#   3. After stripping the batch/* metric lines — the only keys batching
+#      may add — the snapshot and every output are byte-identical to the
+#      same run with -batch 1: batching changes wall-clock compute and
+#      nothing else.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Loaded rate so frames genuinely overlap in flight (idle streams have
+# nothing to coalesce), with a queue deep enough that the backlog waits
+# instead of dropping — -smoke requires every offered frame served.
+FLAGS="-streams 6 -frames 12 -rate 30 -train 8 -val 4 -workers 4 -seed 5 \
+	-queue 80 -slo-ms 0 -tick-ms 0 -smoke"
+
+out_b8=$(mktemp) || exit 1
+out_b8_p1=$(mktemp) || exit 1
+out_b1=$(mktemp) || exit 1
+trap 'rm -f "$out_b8" "$out_b8_p1" "$out_b1"' EXIT
+
+# The batch/* metric lines are "<kind> batch/<name> <value...>"; the
+# second field carries the key, so match on it rather than the raw line.
+strip_batch() { awk '$2 !~ /^batch\//' "$1"; }
+
+echo "== batch run 1 (-batch 8, default parallelism)"
+go run -race ./cmd/adascale-serve $FLAGS -batch 8 >"$out_b8"
+
+echo "== batch run 2 (-batch 8, GOMAXPROCS=1)"
+GOMAXPROCS=1 go run -race ./cmd/adascale-serve $FLAGS -batch 8 >"$out_b8_p1"
+
+if ! cmp -s "$out_b8" "$out_b8_p1"; then
+	echo "batch-smoke: -batch 8 output diverged across core counts:" >&2
+	diff "$out_b8" "$out_b8_p1" >&2 || true
+	exit 1
+fi
+
+echo "== baseline run (-batch 1)"
+go run -race ./cmd/adascale-serve $FLAGS -batch 1 >"$out_b1"
+
+s8=$(mktemp) || exit 1
+s1=$(mktemp) || exit 1
+trap 'rm -f "$out_b8" "$out_b8_p1" "$out_b1" "$s8" "$s1"' EXIT
+strip_batch "$out_b8" >"$s8"
+strip_batch "$out_b1" >"$s1"
+if ! cmp -s "$s8" "$s1"; then
+	echo "batch-smoke: -batch 8 diverged from -batch 1 beyond batch/* keys:" >&2
+	diff "$s1" "$s8" >&2 || true
+	exit 1
+fi
+
+if ! grep -q 'batch/flushes' "$out_b8"; then
+	echo "batch-smoke: -batch 8 run never flushed a batch (no batch/flushes metric)" >&2
+	exit 1
+fi
+echo "batch smoke: identical outputs at -batch 8 vs -batch 1, stable across core counts"

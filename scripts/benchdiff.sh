@@ -25,9 +25,18 @@
 # total ns/op is within tolerance but whose detect stage grew 80%, and
 # asserts the diff flags exactly that stage; then a candidate whose total
 # allocs/op is within tolerance but whose detect stage doubled its
-# allocations, and asserts the alloc gate flags that stage too.
+# allocations, and asserts the alloc gate flags that stage too; then the
+# same detect-stage alloc double on a "batching"-named entry — the shape
+# a broken batch dispatch path would print — and asserts the failure
+# names both the entry and the stage, and that the non-zero exit
+# survives being piped into a consumer.
 set -eu
 cd "$(dirname "$0")/.."
+
+# Gate output is routinely piped (tee/tail in CI); without pipefail the
+# pipe's exit code is the consumer's and a failed diff reads as success.
+# POSIX sh does not mandate the option, so probe in a subshell first.
+if (set -o pipefail) 2>/dev/null; then set -o pipefail; fi
 
 accuracy=""
 if [ "${1:-}" = "-accuracy-only" ]; then
@@ -75,7 +84,37 @@ EOF
 		cat "$tmp/aerr" >&2
 		exit 1
 	fi
-	echo "benchdiff selftest: OK — stage time and stage alloc regressions localised"
+	# Serving entries get the same localisation: a "batching"-named entry
+	# whose total allocations sit inside the 10% tolerance but whose
+	# detect stage doubled must fail, naming the entry and the stage —
+	# this is the gate that catches a batch dispatch path quietly
+	# re-allocating per frame what it should reuse per batch.
+	cat >"$tmp/bbase.json" <<EOF
+{"schema":3,"machine":$machine,"entries":[{"name":"batching","ns_per_op":1000,"allocs_per_op":1000,"iters":1,"metrics":{"map/batching":0.5},"stages_ns_per_op":{"decode":100,"detect":500,"regress":50},"stages_allocs_per_op":{"decode":100,"detect":500,"regress":50}}]}
+EOF
+	cat >"$tmp/bcand.json" <<EOF
+{"schema":3,"machine":$machine,"entries":[{"name":"batching","ns_per_op":1000,"allocs_per_op":1050,"iters":1,"metrics":{"map/batching":0.5},"stages_ns_per_op":{"decode":100,"detect":500,"regress":50},"stages_allocs_per_op":{"decode":100,"detect":1000,"regress":50}}]}
+EOF
+	go run ./cmd/adascale-bench -diff "$tmp/bbase.json" -diff-to "$tmp/bbase.json" >/dev/null
+	if go run ./cmd/adascale-bench -diff "$tmp/bbase.json" -diff-to "$tmp/bcand.json" >/dev/null 2>"$tmp/berr"; then
+		echo "benchdiff selftest: batching-entry alloc regression NOT flagged" >&2
+		exit 1
+	fi
+	if ! grep -q "batching: alloc regression: stage detect" "$tmp/berr"; then
+		echo "benchdiff selftest: batching alloc regression not localised to entry+stage; got:" >&2
+		cat "$tmp/berr" >&2
+		exit 1
+	fi
+	# Exit-code path through a pipe: the same failing diff piped into a
+	# consumer must still exit non-zero wherever pipefail is available
+	# (the guard above; skipped silently on shells without the option).
+	if (set -o pipefail) 2>/dev/null; then
+		if (set -o pipefail; go run ./cmd/adascale-bench -diff "$tmp/bbase.json" -diff-to "$tmp/bcand.json" 2>/dev/null | tail -n 1 >/dev/null); then
+			echo "benchdiff selftest: failing diff exit code lost through a pipe" >&2
+			exit 1
+		fi
+	fi
+	echo "benchdiff selftest: OK — stage time and stage alloc regressions localised (incl. batching entry), exit codes survive pipes"
 	exit 0
 fi
 

@@ -13,6 +13,11 @@
 set -u
 cd "$(dirname "$0")/.."
 
+# Gate commands are piped through annotators in some CI setups; without
+# pipefail a failing gate upstream of a pipe reads as success. POSIX sh
+# does not mandate the option, so probe in a subshell first.
+if (set -o pipefail) 2>/dev/null; then set -o pipefail; fi
+
 ci=0
 [ "${CHECK_CI_MODE:-0}" = "1" ] && ci=1
 [ "${1:-}" = "-ci" ] && ci=1
@@ -79,6 +84,12 @@ gate "serve-smoke" go run -race ./cmd/adascale-serve -streams 4 -frames 50 -rate
 # default parallelism, once at GOMAXPROCS=1 — asserting zero lost
 # streams/frames and byte-identical output across the two runs.
 gate "chaos-smoke" ./scripts/chaos-smoke.sh
+
+# Batching gate: a loaded multi-stream serve with -batch 8 under the race
+# detector, asserting zero loss, byte-identical output across core counts,
+# and — after stripping the batch/* occupancy keys — byte-identical output
+# and metrics against the same run with batching off.
+gate "batch-smoke" ./scripts/batch-smoke.sh
 
 # HTTP transport gate: boot the network serving mode on an ephemeral port
 # under the race detector, drive the API with curl (admission quotas,
